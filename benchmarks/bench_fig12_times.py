@@ -1,0 +1,54 @@
+"""Figure 12(a)/(c)/(d): CQP optimization time.
+
+One benchmark per (algorithm, K) pair at the default cmax — the rows of
+Figure 12(a) — plus the cmax sweep at the default K for the fastest and
+slowest algorithm (the shape of 12(c)/(d)). Solution quality and work
+counters are attached as extra_info so a benchmark JSON dump carries the
+full series.
+
+Regenerate the paper-style tables with:
+    python -m repro.experiments --figure 12a
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from benchmarks.conftest import BENCH_CONFIG, PAPER_ALGORITHMS
+
+
+def _solve_grid(workbench, algorithm, k, **kwargs):
+    return workbench.solve_grid(algorithm, k, **kwargs)
+
+
+@pytest.mark.parametrize("algorithm", PAPER_ALGORITHMS)
+@pytest.mark.parametrize("k", BENCH_CONFIG.k_values)
+def test_fig12a_time_vs_k(benchmark, bench_workbench, algorithm, k):
+    records = benchmark(
+        _solve_grid, bench_workbench, algorithm, k, cmax=BENCH_CONFIG.cmax_default
+    )
+    benchmark.extra_info["figure"] = "12a"
+    benchmark.extra_info["k"] = k
+    benchmark.extra_info["mean_states_examined"] = statistics.mean(
+        r.states_examined for r in records
+    )
+    benchmark.extra_info["found"] = sum(r.found for r in records)
+
+
+@pytest.mark.parametrize("fraction", BENCH_CONFIG.cmax_fractions)
+@pytest.mark.parametrize("algorithm", ("d_maxdoi", "d_heurdoi"))
+def test_fig12c_time_vs_cmax(benchmark, bench_workbench, algorithm, fraction):
+    records = benchmark(
+        _solve_grid,
+        bench_workbench,
+        algorithm,
+        BENCH_CONFIG.k_default,
+        cmax_fraction=fraction,
+    )
+    benchmark.extra_info["figure"] = "12c"
+    benchmark.extra_info["pct_supreme_cost"] = int(fraction * 100)
+    benchmark.extra_info["mean_states_examined"] = statistics.mean(
+        r.states_examined for r in records
+    )

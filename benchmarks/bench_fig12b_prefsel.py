@@ -1,0 +1,32 @@
+"""Figure 12(b): Preference Space selection time vs K.
+
+Benchmarks extraction (the Figure 3 algorithm, including the incremental
+D/C/S vector maintenance) per K. The paper's observation to confirm:
+these times are negligible next to the optimization times of
+bench_fig12_times.
+
+Regenerate the paper-style table with:
+    python -m repro.experiments --figure 12b
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import BENCH_CONFIG
+from repro.core.preference_space import extract_preference_space
+
+
+@pytest.mark.parametrize("k", BENCH_CONFIG.k_values)
+def test_fig12b_preference_selection(benchmark, bench_workbench, k):
+    database = bench_workbench.database
+    profile = bench_workbench.profiles[0]
+    query = bench_workbench.queries[0]
+
+    pspace = benchmark(
+        extract_preference_space, database, query, profile, k_limit=k
+    )
+    benchmark.extra_info["figure"] = "12b"
+    benchmark.extra_info["k"] = pspace.k
+    benchmark.extra_info["d_prefsel_time_s"] = pspace.selection_times["d"]
+    benchmark.extra_info["c_prefsel_time_s"] = pspace.selection_times["c"]

@@ -1,0 +1,46 @@
+"""Figure 13: peak search memory.
+
+pytest-benchmark measures time; the figure's subject — peak KBytes of
+live search state — is attached as extra_info per (algorithm, K) and per
+(algorithm, cmax fraction), mirroring Figures 13(a) and 13(b).
+
+Regenerate the paper-style tables with:
+    python -m repro.experiments --figure 13a   (and 13b)
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from benchmarks.conftest import BENCH_CONFIG, PAPER_ALGORITHMS
+
+
+@pytest.mark.parametrize("algorithm", PAPER_ALGORITHMS)
+@pytest.mark.parametrize("k", BENCH_CONFIG.k_values)
+def test_fig13a_memory_vs_k(benchmark, bench_workbench, algorithm, k):
+    records = benchmark(
+        bench_workbench.solve_grid, algorithm, k, cmax=BENCH_CONFIG.cmax_default
+    )
+    benchmark.extra_info["figure"] = "13a"
+    benchmark.extra_info["k"] = k
+    benchmark.extra_info["mean_peak_memory_kb"] = statistics.mean(
+        r.peak_memory_kb for r in records
+    )
+
+
+@pytest.mark.parametrize("fraction", BENCH_CONFIG.cmax_fractions)
+@pytest.mark.parametrize("algorithm", ("d_maxdoi", "c_boundaries", "d_heurdoi"))
+def test_fig13b_memory_vs_cmax(benchmark, bench_workbench, algorithm, fraction):
+    records = benchmark(
+        bench_workbench.solve_grid,
+        algorithm,
+        BENCH_CONFIG.k_default,
+        cmax_fraction=fraction,
+    )
+    benchmark.extra_info["figure"] = "13b"
+    benchmark.extra_info["pct_supreme_cost"] = int(fraction * 100)
+    benchmark.extra_info["mean_peak_memory_kb"] = statistics.mean(
+        r.peak_memory_kb for r in records
+    )

@@ -1,0 +1,41 @@
+"""Figure 14: heuristic solution quality (doi_optimal − doi_found).
+
+Benchmarks each heuristic's solve while recording its mean quality gap
+against the exact D-MAXDOI reference as extra_info — the y-values of
+Figures 14(a)/(b), expected at the 1e-7 scale the paper plots.
+
+Regenerate the paper-style tables with:
+    python -m repro.experiments --figure 14a   (and 14b)
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from benchmarks.conftest import BENCH_CONFIG
+
+HEURISTICS = ("d_singlemaxdoi", "c_maxbounds", "d_heurdoi")
+
+
+@pytest.mark.parametrize("algorithm", HEURISTICS)
+@pytest.mark.parametrize("k", BENCH_CONFIG.k_values)
+def test_fig14a_quality_vs_k(benchmark, bench_workbench, algorithm, k):
+    cmax = BENCH_CONFIG.cmax_default
+    optimal = {
+        (p, q): bench_workbench.solve_one("d_maxdoi", p, q, k, cmax=cmax)
+        for p, q in bench_workbench.run_pairs()
+    }
+
+    records = benchmark(bench_workbench.solve_grid, algorithm, k, cmax=cmax)
+
+    gaps = []
+    for record in records:
+        reference = optimal[(record.profile_index, record.query_index)]
+        if reference.found:
+            gaps.append(reference.doi - (record.doi if record.found else 0.0))
+    benchmark.extra_info["figure"] = "14a"
+    benchmark.extra_info["k"] = k
+    benchmark.extra_info["mean_quality_gap"] = statistics.mean(gaps) if gaps else 0.0
+    benchmark.extra_info["max_quality_gap"] = max(gaps) if gaps else 0.0

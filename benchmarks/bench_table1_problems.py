@@ -1,0 +1,48 @@
+"""Table 1: one benchmark per CQP problem type, solved end to end.
+
+The paper reports "similar results ... for the other CQP problems";
+these benches put a number on each Section 6 adaptation (Problems 1 and
+3 via re-oriented boundary search, 4-6 via the minimal-state search).
+
+Regenerate the solution table with:
+    python -m repro.experiments --figure table1
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import adapters
+from repro.core.problem import CQPProblem
+
+K = 12
+
+
+def _problems(pspace):
+    supreme = pspace.supreme_cost()
+    base_size = pspace.base_size
+    return {
+        1: CQPProblem.problem1(smin=1.0, smax=base_size / 2),
+        2: CQPProblem.problem2(cmax=0.4 * supreme),
+        3: CQPProblem.problem3(cmax=0.4 * supreme, smin=1.0, smax=base_size / 2),
+        4: CQPProblem.problem4(dmin=0.5),
+        5: CQPProblem.problem5(dmin=0.5, smin=1.0, smax=base_size / 2),
+        6: CQPProblem.problem6(smin=1.0, smax=base_size / 2),
+    }
+
+
+@pytest.mark.parametrize("number", [1, 2, 3, 4, 5, 6])
+def test_table1_problem(benchmark, bench_workbench, number):
+    pspace = bench_workbench.preference_space(0, 0).truncated(K)
+    problem = _problems(pspace)[number]
+
+    solution = benchmark(adapters.solve, pspace, problem, "c_boundaries")
+
+    benchmark.extra_info["figure"] = "table1"
+    benchmark.extra_info["problem"] = number
+    benchmark.extra_info["found"] = solution is not None
+    if solution is not None:
+        benchmark.extra_info["doi"] = solution.doi
+        benchmark.extra_info["cost_ms"] = solution.cost
+        benchmark.extra_info["size"] = solution.size
+        assert problem.satisfies(solution.doi, solution.cost, solution.size)

@@ -1,0 +1,56 @@
+"""Multi-objective personalization and ranked retrieval (extensions).
+
+Two features beyond the paper's core, built on the same machinery:
+
+* the **Pareto front** over (doi, cost) — the paper's stated future
+  work: instead of fixing cmax up front, enumerate every non-dominated
+  trade-off and let the context policy pick (knee point, cheapest point
+  reaching a doi target, ...);
+* **ranked m-of-L retrieval** — Section 4.2's note that results "may be
+  ranked based on their degree of interest": relax the all-preferences
+  intersection to HAVING COUNT(*) >= m and rank answers by the
+  r-composed doi of the preferences each tuple satisfies.
+
+Run:  python examples/pareto_tradeoffs.py
+"""
+
+from repro import extract_preference_space
+from repro.core.pareto import budget_for_doi, knee_point, pareto_front
+from repro.core.ranking import rank_results
+from repro.datasets import build_movie_database
+from repro.sql.parser import parse_select
+from repro.utils.tables import TextTable
+from repro.workloads import generate_profile
+
+
+def main() -> None:
+    database = build_movie_database(seed=21)
+    profile = generate_profile(database, seed=21)
+    query = parse_select("select title from MOVIE")
+
+    pspace = extract_preference_space(database, query, profile, k_limit=10)
+    evaluator = pspace.evaluator()
+
+    front = pareto_front(evaluator)
+    table = TextTable(["cost (ms)", "doi", "est. size", "#prefs"])
+    for solution in front:
+        table.add_row([solution.cost, solution.doi, solution.size, solution.group_size])
+    print(table.render(title="Pareto front over (doi, cost), K=%d" % pspace.k))
+
+    knee = knee_point(front)
+    print("\nknee point          :", knee)
+    print("cheapest with doi>=0.95:", budget_for_doi(front, 0.95))
+
+    # Rank answers for the knee's preference set, relaxed to >= 1 match.
+    paths = [pspace.paths[i] for i in knee.pref_indices]
+    ranked = rank_results(database, query, paths, min_matches=1)
+    print("\ntop 5 ranked answers (m-of-%d matching):" % len(paths))
+    for entry in ranked[:5]:
+        print(
+            "  doi=%.4f  matches=%d  %s"
+            % (entry.doi, entry.match_count, entry.row[0])
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Constrained Query Personalization (CQP).
+
+A faithful, self-contained reproduction of
+
+    Georgia Koutrika, Yannis Ioannidis.
+    "Constrained Optimalities in Query Personalization." SIGMOD 2005.
+
+Quickstart::
+
+    from repro import CQPProblem, Personalizer
+    from repro.datasets import build_movie_database
+    from repro.workloads import generate_profile
+
+    db = build_movie_database(seed=7)
+    profile = generate_profile(db, seed=7)
+    personalizer = Personalizer(db)
+    outcome = personalizer.personalize(
+        "select title from MOVIE", profile, CQPProblem.problem2(cmax=400.0)
+    )
+    print(outcome.sql)
+    print(personalizer.execute(outcome).rows[:5])
+"""
+
+from repro.core.context import SearchContext, problem_for_context
+from repro.core.personalizer import PersonalizationOutcome, Personalizer
+from repro.core.preference_space import PreferenceSpace, extract_preference_space
+from repro.core.problem import Constraints, CQPProblem, Parameter
+from repro.core.solution import CQPSolution
+from repro.errors import ReproError
+from repro.preferences.learning import learn_profile, merge_profiles
+from repro.preferences.model import AtomicPreference, PreferencePath
+from repro.preferences.profile import UserProfile
+from repro.storage.database import Database
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AtomicPreference",
+    "Constraints",
+    "CQPProblem",
+    "CQPSolution",
+    "Database",
+    "extract_preference_space",
+    "learn_profile",
+    "merge_profiles",
+    "Parameter",
+    "PersonalizationOutcome",
+    "Personalizer",
+    "PreferencePath",
+    "PreferenceSpace",
+    "problem_for_context",
+    "ReproError",
+    "SearchContext",
+    "UserProfile",
+    "__version__",
+]

@@ -1,0 +1,40 @@
+"""The paper's contribution: Constrained Query Personalization.
+
+Public entry points:
+
+* :class:`~repro.core.problem.CQPProblem` — the six problems of Table 1;
+* :func:`~repro.core.preference_space.extract_preference_space` — the
+  Preference Space algorithm (Figure 3);
+* the state-space search algorithms of Section 5
+  (:mod:`repro.core.algorithms`);
+* :class:`~repro.core.personalizer.Personalizer` — the end-to-end façade
+  wiring Figure 2's architecture together.
+"""
+
+from repro.core.pareto import budget_for_doi, knee_point, pareto_front
+from repro.core.personalizer import PersonalizationOutcome, Personalizer
+from repro.core.preference_space import PreferenceSpace, extract_preference_space
+from repro.core.problem import Constraints, CQPProblem, Parameter
+from repro.core.ranking import RankedRow, rank_results
+from repro.core.solution import CQPSolution
+from repro.core.space import SearchSpace, SpaceBundle
+from repro.core.stats import SearchStats
+
+__all__ = [
+    "budget_for_doi",
+    "Constraints",
+    "CQPProblem",
+    "CQPSolution",
+    "extract_preference_space",
+    "knee_point",
+    "Parameter",
+    "pareto_front",
+    "PersonalizationOutcome",
+    "Personalizer",
+    "PreferenceSpace",
+    "rank_results",
+    "RankedRow",
+    "SearchSpace",
+    "SearchStats",
+    "SpaceBundle",
+]

@@ -1,0 +1,52 @@
+"""State-space search algorithms (Section 5.2).
+
+========================  =======  =========  ============================
+Algorithm                 Space    Exact?     Paper reference
+========================  =======  =========  ============================
+``exhaustive``            any      yes        O(2^K) baseline (§5.2)
+``c_boundaries``          cost     yes        Figure 5
+``c_maxbounds``           cost     heuristic  Figure 7
+``d_maxdoi``              doi      yes        Figure 9
+``d_singlemaxdoi``        doi      heuristic  Figure 10
+``d_heurdoi``             doi      heuristic  Figure 11
+``simulated_annealing``   any      heuristic  generic baseline (§2)
+``tabu``                  any      heuristic  generic baseline (§2)
+``genetic``               any      heuristic  generic baseline (§2)
+========================  =======  =========  ============================
+"""
+
+from repro.core.algorithms.base import (
+    ALGORITHM_REGISTRY,
+    CQPAlgorithm,
+    get_algorithm,
+    paper_algorithms,
+    register,
+)
+from repro.core.algorithms.c_boundaries import CBoundaries
+from repro.core.algorithms.c_maxbounds import CMaxBounds
+from repro.core.algorithms.d_heurdoi import DHeurDoi
+from repro.core.algorithms.d_maxdoi import DMaxDoi
+from repro.core.algorithms.d_singlemaxdoi import DSingleMaxDoi
+from repro.core.algorithms.exhaustive import Exhaustive
+from repro.core.algorithms.metaheuristics import (
+    GeneticSearch,
+    SimulatedAnnealing,
+    TabuSearch,
+)
+
+__all__ = [
+    "ALGORITHM_REGISTRY",
+    "CBoundaries",
+    "CMaxBounds",
+    "CQPAlgorithm",
+    "DHeurDoi",
+    "DMaxDoi",
+    "DSingleMaxDoi",
+    "Exhaustive",
+    "GeneticSearch",
+    "get_algorithm",
+    "paper_algorithms",
+    "register",
+    "SimulatedAnnealing",
+    "TabuSearch",
+]

@@ -1,0 +1,81 @@
+"""Algorithm C-BOUNDARIES (Figure 5) — exact, on the cost state space.
+
+Phase 1 (``FINDBOUNDARY``) sweeps the space group by group: a state that
+satisfies the budget constraint while its Vertical predecessors do not
+is a *boundary*. Boundaries of one group seed the next group through
+their Horizontal neighbors (Proposition 4), so the breadth-first sweep
+finds every boundary (Theorem 1) and stops at the first group with none
+(Proposition 5).
+
+Phase 2 (``C_FINDMAXDOI``, shared in :mod:`base`) finds the best-doi
+node at or below the boundaries — the optimum, by Theorem 2.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional, Tuple
+
+from repro.core.algorithms.base import (
+    CQPAlgorithm,
+    PruneBook,
+    find_max_doi_below,
+    register,
+)
+from repro.core.space import SearchSpace
+from repro.core.state import State
+from repro.core.stats import SearchStats, container_bytes
+
+
+def find_boundaries(space: SearchSpace, stats: SearchStats) -> List[State]:
+    """Phase 1: the breadth-first boundary sweep."""
+    boundaries: List[State] = []
+    book = PruneBook()
+    queue: "deque[State]" = deque()
+    stats.track_container("RQ", lambda: container_bytes(queue))
+    stats.track_container("Boundaries", lambda: container_bytes(boundaries))
+
+    if space.k == 0:
+        return boundaries
+    start: State = (0,)
+    book.mark(start)
+    queue.append(start)
+    while queue:
+        state = queue.popleft()
+        stats.examined()
+        if book.below_any_boundary(state):
+            continue  # a boundary recorded since enqueue covers this state
+        if space.within_budget(state):
+            boundaries.append(state)
+            book.add_boundary(state)
+            successor = space.horizontal(state)
+            if successor is not None and not book.prune(successor):
+                stats.moved()
+                queue.append(successor)  # tail: next group, breadth-first
+        else:
+            neighbors = space.vertical(state)
+            # The paper orders Vertical neighbors by decreasing cost and
+            # pushes them at the head so a group is finished before the
+            # next one starts.
+            neighbors.sort(key=space.budget_value, reverse=True)
+            for neighbor in reversed(neighbors):
+                if not book.prune(neighbor):
+                    stats.moved()
+                    queue.appendleft(neighbor)
+        stats.sample_memory()
+    return boundaries
+
+
+@register
+class CBoundaries(CQPAlgorithm):
+    """Exact boundary enumeration + best-doi-below search."""
+
+    name = "c_boundaries"
+    exact = True
+    space_kind = "cost"
+
+    def _search(
+        self, space: SearchSpace, stats: SearchStats
+    ) -> Optional[Tuple[int, ...]]:
+        boundaries = find_boundaries(space, stats)
+        return find_max_doi_below(space, boundaries, stats)

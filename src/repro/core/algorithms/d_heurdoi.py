@@ -1,0 +1,92 @@
+"""Algorithm D-HEURDOI (Figure 11) — greedy build + cheapest-drop repair.
+
+Built on the same idea as D-SINGLEMAXDOI but with a much smaller
+exploration budget. Per round:
+
+(a) greedily inflate the seed with ``Horizontal2`` insertions under the
+    budget and record the result;
+(b) repair: repeatedly *drop the cheapest preference* of the current
+    node (freeing budget), forbid it from re-insertion, re-inflate
+    greedily, and record — until the node is reduced to the seed.
+
+The rounds' early exit reuses Figure 10's BestExpectedDoi suffix bound.
+
+Interpretation notes (DESIGN.md §4): the prose seeds rounds with "the
+most expensive preference not yet examined", but the loop bound indexes
+the doi-ordered P — we follow the doi order, matching the bound. The
+repair step follows the prose ("remove the cheapest preference … until
+the current node is reduced to the initial preference"); Figure 11's
+prefix-truncation loop is an equivalent compression of the same walk.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set, Tuple
+
+from repro.core.algorithms.base import CQPAlgorithm, greedy_extend, register
+from repro.core.space import SearchSpace
+from repro.core.state import State
+from repro.core.stats import SearchStats, node_bytes
+
+
+@register
+class DHeurDoi(CQPAlgorithm):
+    """The paper's fastest heuristic: tiny frontier, near-optimal quality."""
+
+    name = "d_heurdoi"
+    exact = False
+    space_kind = "doi"
+
+    def _suffix_bound(self, space: SearchSpace, seed: int) -> float:
+        suffix = [space.vector[rank] for rank in range(seed, space.k)]
+        if not suffix:
+            return -1.0
+        return space.evaluator.doi(tuple(suffix))
+
+    def _cheapest_rank(self, space: SearchSpace, state: State, seed: int) -> int:
+        """The rank whose preference has the lowest sub-query cost,
+        never the seed (the walk ends at the bare seed)."""
+        candidates = [rank for rank in state if rank != seed]
+        return min(candidates, key=lambda rank: space.evaluator.cost_values[space.vector[rank]])
+
+    def _search(
+        self, space: SearchSpace, stats: SearchStats
+    ) -> Optional[Tuple[int, ...]]:
+        best_doi = -1.0
+        best: Optional[Tuple[int, ...]] = None
+
+        def record(state: State) -> None:
+            nonlocal best_doi, best
+            stats.examined()
+            if not space.fully_feasible(state):
+                return
+            doi = space.objective_value(state)
+            if doi > best_doi:
+                best_doi = doi
+                best = space.prefs(state)
+
+        seed = 0
+        while seed < space.k:
+            if best is not None and best_doi > self._suffix_bound(space, seed):
+                break
+            start: State = (seed,)
+            if space.within_budget(start):
+                current = greedy_extend(space, start, stats)
+                record(current)
+                forbidden: Set[int] = set()
+                # The current node plus the forbidden set is the whole
+                # live memory of a round.
+                stats.track_container(
+                    "current", lambda: node_bytes(current) + 8 * len(forbidden)
+                )
+                while len(current) > 1:
+                    dropped = self._cheapest_rank(space, current, seed)
+                    forbidden.add(dropped)
+                    reduced = tuple(rank for rank in current if rank != dropped)
+                    current = greedy_extend(space, reduced, stats, forbidden=forbidden)
+                    record(current)
+                    stats.sample_memory()
+            else:
+                record(start)  # unreachable budget: still counts the visit
+            seed += 1
+        return tuple(sorted(best)) if best is not None else None

@@ -1,0 +1,104 @@
+"""Algorithm D-MAXDOI (Figure 9) — exact, on the doi state space.
+
+``FINDOPTIMAL`` walks the doi-ordered vector: from each feasible state
+it applies Horizontal transitions while the budget holds, records the
+last feasible node of the chain as a candidate solution, then branches
+into the Vertical neighbors of the chain's first infeasible successor.
+Vertical moves here are "blind" with respect to cost (Table 5), which is
+exactly why the paper finds this algorithm explores a large share of the
+space — the behavior Figure 12(a) shows.
+
+``D_FINDMAXDOI`` then scans the recorded solutions in decreasing group
+size with the BestExpectedDoi early exit. Unlike C_FINDMAXDOI it needs
+no pointer trick: solutions are evaluated directly (Figure 9).
+
+Pseudocode gap (DESIGN.md §4): on the infeasible branch the paper
+references ``R'`` which was never assigned; we branch into
+``Vertical(R)`` there, and into ``Vertical(R')`` of the first infeasible
+Horizontal successor on the feasible branch, per the prose. Pruning is
+visited-set only — below-solution dominance in the doi space can cut
+states whose *extensions* beat every recorded solution, which would
+break Theorem 3.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional, Tuple
+
+from repro.core.algorithms.base import CQPAlgorithm, PruneBook, register
+from repro.core.space import SearchSpace
+from repro.core.state import State
+from repro.core.stats import SearchStats, container_bytes
+
+
+def find_optimal(space: SearchSpace, stats: SearchStats) -> List[State]:
+    """Phase 1: collect chain-maximal feasible states (FINDOPTIMAL)."""
+    solutions: List[State] = []
+    book = PruneBook()
+    queue: "deque[State]" = deque()
+    stats.track_container("RQ", lambda: container_bytes(queue))
+    stats.track_container("Solutions", lambda: container_bytes(solutions))
+
+    if space.k == 0:
+        return solutions
+    start: State = (0,)
+    book.mark(start)
+    queue.append(start)
+    while queue:
+        state = queue.popleft()
+        stats.examined()
+        if space.within_budget(state):
+            successor = space.horizontal(state)
+            while successor is not None and space.within_budget(successor):
+                stats.moved()
+                state = successor
+                successor = space.horizontal(state)
+            solutions.append(state)
+            branch_point = successor if successor is not None else state
+        else:
+            branch_point = state
+        for neighbor in space.vertical(branch_point):
+            if not book.prune(neighbor):
+                stats.moved()
+                queue.appendleft(neighbor)
+        stats.sample_memory()
+    return solutions
+
+
+def d_find_max_doi(
+    space: SearchSpace, solutions: List[State], stats: SearchStats
+) -> Optional[Tuple[int, ...]]:
+    """Phase 2: pick the best recorded solution (D_FINDMAXDOI)."""
+    ordered = sorted(set(solutions), key=len, reverse=True)
+    best_doi = -1.0
+    best: Optional[Tuple[int, ...]] = None
+    current_group = len(ordered[0]) if ordered else 0
+    for state in ordered:
+        if len(state) < current_group:
+            current_group = len(state)
+            if best_doi > space.upper_bound(current_group):
+                break
+        stats.examined()
+        if not space.extra_feasible(state):
+            continue
+        doi = space.objective_value(state)
+        if doi > best_doi:
+            best_doi = doi
+            best = space.prefs(state)
+    return tuple(sorted(best)) if best is not None else None
+
+
+@register
+class DMaxDoi(CQPAlgorithm):
+    """Exact search over the doi space (Theorem 3)."""
+
+    name = "d_maxdoi"
+    exact = True
+    space_kind = "doi"
+
+    def _search(
+        self, space: SearchSpace, stats: SearchStats
+    ) -> Optional[Tuple[int, ...]]:
+        solutions = find_optimal(space, stats)
+        return d_find_max_doi(space, solutions, stats)

@@ -1,0 +1,75 @@
+"""Algorithm D-SINGLEMAXDOI (Figure 10) — single-phase greedy, doi space.
+
+The doi-space sibling of C-MAXBOUNDS: each round seeds from the next
+preference in doi order, greedily inflates it with ``Horizontal2``
+insertions (highest remaining doi first) under the budget, records the
+result if it beats the incumbent, and recurses into Vertical neighbors
+that retain the seed. Rounds stop when the incumbent beats
+BestExpectedDoi — the doi of *all* preferences from the current seed on
+(Figure 10 line 3.4).
+
+Heuristic: a round's greedy inflation can commit to an expensive
+high-doi preference that crowds out a better combination.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional, Tuple
+
+from repro.core.algorithms.base import CQPAlgorithm, PruneBook, greedy_extend, register
+from repro.core.space import SearchSpace
+from repro.core.state import State
+from repro.core.stats import SearchStats, container_bytes
+
+
+@register
+class DSingleMaxDoi(CQPAlgorithm):
+    """Greedy single-phase search over the doi space."""
+
+    name = "d_singlemaxdoi"
+    exact = False
+    space_kind = "doi"
+
+    def _suffix_bound(self, space: SearchSpace, seed: int) -> float:
+        """BestExpectedDoi: doi of every preference from rank ``seed`` on."""
+        suffix = [space.vector[rank] for rank in range(seed, space.k)]
+        if not suffix:
+            return -1.0
+        return space.evaluator.doi(tuple(suffix))
+
+    def _search(
+        self, space: SearchSpace, stats: SearchStats
+    ) -> Optional[Tuple[int, ...]]:
+        best_doi = -1.0
+        best: Optional[Tuple[int, ...]] = None
+        book = PruneBook()
+        queue: "deque[State]" = deque()
+        stats.track_container("RQ", lambda: container_bytes(queue))
+
+        seed = 0
+        while seed < space.k:
+            if best is not None and best_doi > self._suffix_bound(space, seed):
+                break
+            start: State = (seed,)
+            if not book.prune(start):
+                queue.append(start)
+            while queue:
+                state = queue.popleft()
+                stats.examined()
+                if space.within_budget(state):
+                    state = greedy_extend(space, state, stats)
+                    if space.fully_feasible(state):
+                        doi = space.objective_value(state)
+                        if doi > best_doi:
+                            best_doi = doi
+                            best = space.prefs(state)
+                for neighbor in space.vertical(state):
+                    if seed not in neighbor:
+                        continue  # rounds only grow states containing the seed
+                    if not book.prune(neighbor):
+                        stats.moved()
+                        queue.append(neighbor)
+                stats.sample_memory()
+            seed += 1
+        return tuple(sorted(best)) if best is not None else None

@@ -1,0 +1,210 @@
+"""Generic metaheuristic baselines (related work, Section 2).
+
+The paper argues that generic state-space methods — simulated annealing
+[10], tabu search [4], genetic algorithms [5] — do not exploit CQP's
+syntactic partial orders. These implementations exist to quantify that
+claim in an ablation bench: same spaces, same feasibility, no structure.
+
+All three search over bit-vector states (any subset of P), treat
+infeasible states as worthless, and are deterministically seeded.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+from repro.core.algorithms.base import CQPAlgorithm, register
+from repro.core.space import SearchSpace
+from repro.core.state import State, make_state
+from repro.core.stats import SearchStats
+from repro.utils.rng import SeededRNG
+
+
+def _score(space: SearchSpace, state: State, stats: SearchStats) -> float:
+    """Objective for feasible states, -1 otherwise (doi is in [0, 1])."""
+    stats.examined()
+    if not state or not space.fully_feasible(state):
+        return -1.0
+    return space.objective_value(state)
+
+
+def _flip(state: State, rank: int) -> State:
+    present = set(state)
+    if rank in present:
+        present.remove(rank)
+    else:
+        present.add(rank)
+    return make_state(present)
+
+
+class _StochasticSearch(CQPAlgorithm):
+    """Common plumbing: seeded RNG + incumbent tracking."""
+
+    exact = False
+    space_kind = "any"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+
+    def _initial(self, space: SearchSpace, rng: SeededRNG, stats: SearchStats) -> State:
+        """A random feasible-ish start: singletons tried in random order."""
+        for rank in rng.shuffled(list(range(space.k))):
+            state: State = (rank,)
+            if space.within_budget(state):
+                return state
+        return ()
+
+
+@register
+class SimulatedAnnealing(_StochasticSearch):
+    """Classic SA over single-bit flips with geometric cooling."""
+
+    name = "simulated_annealing"
+
+    def __init__(
+        self,
+        seed: int = 0,
+        steps: int = 2000,
+        start_temperature: float = 0.1,
+        cooling: float = 0.995,
+    ) -> None:
+        super().__init__(seed)
+        self.steps = steps
+        self.start_temperature = start_temperature
+        self.cooling = cooling
+
+    def _search(
+        self, space: SearchSpace, stats: SearchStats
+    ) -> Optional[Tuple[int, ...]]:
+        if space.k == 0:
+            return None
+        rng = SeededRNG(self.seed).child("sa")
+        current = self._initial(space, rng, stats)
+        current_score = _score(space, current, stats)
+        best, best_score = current, current_score
+        temperature = self.start_temperature
+        for _ in range(self.steps):
+            candidate = _flip(current, rng.randint(0, space.k - 1))
+            stats.moved()
+            candidate_score = _score(space, candidate, stats)
+            delta = candidate_score - current_score
+            if delta >= 0 or rng.random() < math.exp(delta / max(temperature, 1e-12)):
+                current, current_score = candidate, candidate_score
+                if current_score > best_score:
+                    best, best_score = current, current_score
+            temperature *= self.cooling
+        if best_score < 0:
+            return None
+        return tuple(sorted(space.prefs(best)))
+
+
+@register
+class TabuSearch(_StochasticSearch):
+    """Steepest-ascent over flips with a fixed-length tabu list."""
+
+    name = "tabu"
+
+    def __init__(self, seed: int = 0, iterations: int = 200, tenure: int = 8) -> None:
+        super().__init__(seed)
+        self.iterations = iterations
+        self.tenure = tenure
+
+    def _search(
+        self, space: SearchSpace, stats: SearchStats
+    ) -> Optional[Tuple[int, ...]]:
+        if space.k == 0:
+            return None
+        rng = SeededRNG(self.seed).child("tabu")
+        current = self._initial(space, rng, stats)
+        best = current
+        best_score = _score(space, current, stats)
+        tabu: List[int] = []
+        for _ in range(self.iterations):
+            candidates = []
+            for rank in range(space.k):
+                if rank in tabu:
+                    continue
+                neighbor = _flip(current, rank)
+                stats.moved()
+                candidates.append((_score(space, neighbor, stats), rank, neighbor))
+            if not candidates:
+                break
+            score, rank, neighbor = max(candidates)
+            current = neighbor
+            tabu.append(rank)
+            if len(tabu) > self.tenure:
+                tabu.pop(0)
+            if score > best_score:
+                best, best_score = current, score
+        if best_score < 0:
+            return None
+        return tuple(sorted(space.prefs(best)))
+
+
+@register
+class GeneticSearch(_StochasticSearch):
+    """Tournament-selection GA over subset bit-vectors."""
+
+    name = "genetic"
+
+    def __init__(
+        self,
+        seed: int = 0,
+        population: int = 40,
+        generations: int = 60,
+        mutation_rate: float = 0.05,
+    ) -> None:
+        super().__init__(seed)
+        self.population = population
+        self.generations = generations
+        self.mutation_rate = mutation_rate
+
+    def _random_member(self, space: SearchSpace, rng: SeededRNG) -> State:
+        ranks = [rank for rank in range(space.k) if rng.random() < 0.25]
+        return make_state(ranks)
+
+    def _crossover(self, rng: SeededRNG, a: State, b: State, k: int) -> State:
+        point = rng.randint(0, k - 1)
+        child = [r for r in a if r <= point] + [r for r in b if r > point]
+        return make_state(child)
+
+    def _mutate(self, rng: SeededRNG, state: State, k: int) -> State:
+        ranks = set(state)
+        for rank in range(k):
+            if rng.random() < self.mutation_rate:
+                ranks.symmetric_difference_update({rank})
+        return make_state(ranks)
+
+    def _search(
+        self, space: SearchSpace, stats: SearchStats
+    ) -> Optional[Tuple[int, ...]]:
+        if space.k == 0:
+            return None
+        rng = SeededRNG(self.seed).child("ga")
+        population = [self._random_member(space, rng) for _ in range(self.population)]
+        population.append(self._initial(space, rng, stats))
+        best: Optional[State] = None
+        best_score = -1.0
+
+        def fitness(member: State) -> float:
+            return _score(space, member, stats)
+
+        for _ in range(self.generations):
+            scored = [(fitness(member), member) for member in population]
+            for score, member in scored:
+                if score > best_score:
+                    best_score, best = score, member
+            next_generation: List[State] = []
+            while len(next_generation) < self.population:
+                contenders = rng.sample(scored, min(3, len(scored)))
+                _, parent_a = max(contenders)
+                contenders = rng.sample(scored, min(3, len(scored)))
+                _, parent_b = max(contenders)
+                child = self._crossover(rng, parent_a, parent_b, space.k)
+                next_generation.append(self._mutate(rng, child, space.k))
+                stats.moved()
+            population = next_generation
+        if best is None or best_score < 0:
+            return None
+        return tuple(sorted(space.prefs(best)))

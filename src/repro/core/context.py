@@ -1,0 +1,74 @@
+"""Search-context → CQP-problem policies.
+
+The paper treats the mapping from search context (device, connection,
+momentary user requirements) to the appropriate Table 1 problem as a
+policy question outside its scope. This module supplies the obvious
+policy from the paper's own motivating scenario — Al planning a trip on
+an office workstation vs. asking for "up to three restaurants" from a
+palmtop in Pisa — so the examples and integration tests can exercise
+context-driven problem selection end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.problem import CQPProblem
+from repro.errors import ProblemSpecError
+
+
+@dataclass(frozen=True)
+class SearchContext:
+    """Real-time factors surrounding one request."""
+
+    device: str = "desktop"  # desktop | laptop | palmtop | phone
+    bandwidth_kbps: Optional[float] = None
+    max_results: Optional[int] = None  # e.g. "up to three restaurants"
+    time_budget_ms: Optional[float] = None
+    min_interest: Optional[float] = None  # user insists on relevance
+
+
+# Per-device defaults when the context does not pin a number down.
+_DEVICE_TIME_BUDGET_MS = {"desktop": None, "laptop": None, "palmtop": 400.0, "phone": 250.0}
+_DEVICE_MAX_RESULTS = {"desktop": None, "laptop": None, "palmtop": 20, "phone": 10}
+_SLOW_LINK_KBPS = 256.0
+
+
+def problem_for_context(context: SearchContext) -> CQPProblem:
+    """Pick the Table 1 problem a context calls for.
+
+    Policy: explicit user requirements win; device/bandwidth fill in
+    missing bounds; interest is maximized unless the user demanded a
+    minimum interest level, in which case response time is minimized
+    instead (Problems 4-5).
+    """
+    time_budget = context.time_budget_ms
+    if time_budget is None:
+        time_budget = _DEVICE_TIME_BUDGET_MS.get(context.device)
+    if (
+        time_budget is None
+        and context.bandwidth_kbps is not None
+        and context.bandwidth_kbps <= _SLOW_LINK_KBPS
+    ):
+        time_budget = 500.0
+
+    max_results = context.max_results
+    if max_results is None:
+        max_results = _DEVICE_MAX_RESULTS.get(context.device)
+
+    if context.min_interest is not None:
+        if max_results is not None:
+            return CQPProblem.problem5(dmin=context.min_interest, smax=max_results)
+        return CQPProblem.problem4(dmin=context.min_interest)
+
+    if time_budget is not None and max_results is not None:
+        return CQPProblem.problem3(cmax=time_budget, smax=max_results)
+    if time_budget is not None:
+        return CQPProblem.problem2(cmax=time_budget)
+    if max_results is not None:
+        return CQPProblem.problem1(smax=max_results)
+    raise ProblemSpecError(
+        "context imposes no constraint; unconstrained personalization is "
+        "the degenerate 'over-personalized' query (Section 1)"
+    )

@@ -1,0 +1,229 @@
+"""Parameter estimation (Section 4.3 and 7.1).
+
+Two layers:
+
+* :class:`ParameterEstimator` prices one preference *path* against the
+  original query — the cost of the sub-query integrating that path
+  (``b × Σ blocks``), and the multiplicative reduction the path applies
+  to the query's result size.
+* :class:`StateEvaluator` combines per-preference figures into the
+  parameters of a *state* (a set of preferences), incrementally cheap:
+
+  - ``doi(Px) = r(doi(p1), …, doi(pL))``          (Formula 5/10)
+  - ``cost(Qx) = Σ cost(qi)``                      (Formula 6/11)
+  - ``size(Q ∧ Px) = size(Q) × Π reduction(pi)``   (clamped factors,
+    so Formula 8's partial order holds exactly)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence, Tuple
+
+from repro.core.rewriter import QueryRewriter
+from repro.errors import SearchError
+from repro.preferences.composition import DoiAlgebra, PRODUCT_ALGEBRA
+from repro.preferences.model import PreferencePath
+from repro.sql.ast_nodes import SelectQuery
+from repro.sql.cardinality import CardinalityEstimator
+from repro.sql.cost import CostModel
+from repro.storage.database import Database
+
+
+class ParameterEstimator:
+    """Prices preference paths against one original query."""
+
+    def __init__(
+        self,
+        database: Database,
+        query: SelectQuery,
+        algebra: DoiAlgebra = PRODUCT_ALGEBRA,
+    ) -> None:
+        self.database = database
+        self.query = query
+        self.algebra = algebra
+        self.rewriter = QueryRewriter(query, schema=database.schema)
+        self.cost_model = CostModel(database)
+        self.cardinality = CardinalityEstimator(database)
+        self.base_cost = self.cost_model.cost_ms(query)
+        self.base_size = self.cardinality.estimate(query)
+
+    def subquery(self, path: PreferencePath) -> SelectQuery:
+        """The sub-query ``q_i`` integrating one preference (Section 4.2)."""
+        return self.rewriter.subquery(path)
+
+    # -- per-path parameters ---------------------------------------------------------
+
+    def path_doi(self, path: PreferencePath) -> float:
+        return path.doi(self.algebra)
+
+    def path_cost(self, path: PreferencePath) -> float:
+        """cost(Q ∧ p): block scans of Q's relations plus the path's."""
+        return self.cost_model.cost_ms(self.subquery(path))
+
+    def path_reduction(self, path: PreferencePath) -> float:
+        """Multiplicative size factor of the path, clamped to [0, 1]."""
+        tables, conditions = self.rewriter.integration(path)
+        return self.cardinality.reduction_factor(self.query, tables, conditions)
+
+    def path_size(self, path: PreferencePath) -> float:
+        """size(Q ∧ p) = size(Q) × reduction(p)."""
+        return self.base_size * self.path_reduction(path)
+
+
+class StateEvaluator:
+    """Computes doi/cost/size of preference sets from per-preference arrays.
+
+    Indices here are positions into ``P`` (the doi-ordered preference
+    list), not ranks; spaces translate ranks → P-indices first.
+    """
+
+    def __init__(
+        self,
+        doi_values: Sequence[float],
+        cost_values: Sequence[float],
+        reductions: Sequence[float],
+        base_size: float,
+        base_cost: float = 0.0,
+        algebra: DoiAlgebra = PRODUCT_ALGEBRA,
+        conflicts: Sequence[Tuple[int, int]] = (),
+    ) -> None:
+        lengths = {len(doi_values), len(cost_values), len(reductions)}
+        if len(lengths) != 1:
+            raise SearchError("parameter arrays disagree in length: %r" % lengths)
+        self.doi_values = list(doi_values)
+        self.cost_values = list(cost_values)
+        self.reductions = list(reductions)
+        self.base_size = base_size
+        self.base_cost = base_cost
+        self.algebra = algebra
+        # Pairs of mutually exclusive preferences (equality selections on
+        # the same attribute with different values): their conjunction is
+        # provably empty, which the independence product cannot see.
+        # size() pins such states to exactly 0, and Formula (8) still
+        # holds — supersets of a conflicted state stay conflicted at 0.
+        self.conflicts = frozenset(frozenset(pair) for pair in conflicts)
+        self.evaluations = 0
+        self._dois_descending = sorted(self.doi_values, reverse=True)
+
+    def _conflicted(self, indices: Sequence[int]) -> bool:
+        if not self.conflicts:
+            return False
+        present = set(indices)
+        return any(pair <= present for pair in self.conflicts)
+
+    def __len__(self) -> int:
+        return len(self.doi_values)
+
+    def doi(self, indices: Sequence[int]) -> float:
+        """doi of the conjunction (Formula 3); 0 for the empty set."""
+        self.evaluations += 1
+        if not indices:
+            return 0.0
+        return self.algebra.conjunction_doi([self.doi_values[i] for i in indices])
+
+    def cost(self, indices: Sequence[int]) -> float:
+        """Σ sub-query costs (Formula 6); the bare query's cost when empty."""
+        self.evaluations += 1
+        if not indices:
+            return self.base_cost
+        return sum(self.cost_values[i] for i in indices)
+
+    def size(self, indices: Sequence[int]) -> float:
+        """size(Q) × Π reductions — monotone non-increasing in the set;
+        exactly 0 for states containing mutually exclusive preferences."""
+        self.evaluations += 1
+        if self._conflicted(indices):
+            return 0.0
+        return self.base_size * math.prod(self.reductions[i] for i in indices)
+
+    def size_independent(self, indices: Sequence[int]) -> float:
+        """The pure independence product, ignoring conflicts.
+
+        An upper bound on :meth:`size`. The Problem 1 search uses it as
+        the budget parameter: the conflict zeroing makes the true size
+        non-monotone along Vertical moves in the S-vector (a swap can
+        *introduce* a conflict), which would break the boundary
+        machinery; the independence product keeps the alignment, and the
+        conflict-aware window is enforced as an exact extra predicate.
+        """
+        self.evaluations += 1
+        return self.base_size * math.prod(self.reductions[i] for i in indices)
+
+    def supreme_cost(self) -> float:
+        """Cost of the query incorporating *all* preferences — the paper's
+        Supreme Cost, the 100% point of the cmax sweeps."""
+        return sum(self.cost_values)
+
+    def cache_info(self) -> Dict[str, int]:
+        """Cache statistics; the plain evaluator has no cache."""
+        return {"hits": 0, "misses": self.evaluations}
+
+    def best_doi_of_size(self, size: int) -> float:
+        """Upper bound on the doi of any state with ``size`` preferences.
+
+        Formula 4 makes doi inclusion-monotone and the conjunction is
+        monotone in each argument, so the top-``size`` dois bound every
+        state of that group: the BestExpectedDoi device of C_FINDMAXDOI.
+        """
+        size = min(size, len(self._dois_descending))
+        if size <= 0:
+            return 0.0
+        return self.algebra.conjunction_doi(self._dois_descending[:size])
+
+
+class CachedStateEvaluator(StateEvaluator):
+    """A state evaluator with result caching (Section 5.2.1).
+
+    The paper: "Since Formula (6) permits incremental cost computation,
+    cost(.) has been implemented in this way. Costs that may be re-used
+    are cached. This technique is used in all algorithms proposed."
+    Search algorithms re-evaluate near-identical states constantly (a
+    Vertical neighbor differs in one preference), so caching by the
+    canonical preference set pays off; `bench_ablations.py` quantifies
+    it.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._doi_cache: Dict[Tuple[int, ...], float] = {}
+        self._cost_cache: Dict[Tuple[int, ...], float] = {}
+        self._size_cache: Dict[Tuple[int, ...], float] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    @classmethod
+    def wrap(cls, evaluator: StateEvaluator) -> "CachedStateEvaluator":
+        """A caching evaluator over an existing evaluator's parameters."""
+        return cls(
+            doi_values=evaluator.doi_values,
+            cost_values=evaluator.cost_values,
+            reductions=evaluator.reductions,
+            base_size=evaluator.base_size,
+            base_cost=evaluator.base_cost,
+            algebra=evaluator.algebra,
+            conflicts=[tuple(pair) for pair in evaluator.conflicts],
+        )
+
+    def _cached(self, cache, compute, indices: Sequence[int]) -> float:
+        key = tuple(sorted(indices))
+        value = cache.get(key)
+        if value is not None:
+            self.cache_hits += 1
+            return value
+        self.cache_misses += 1
+        value = compute(key)
+        cache[key] = value
+        return value
+
+    def doi(self, indices: Sequence[int]) -> float:
+        return self._cached(self._doi_cache, super().doi, indices)
+
+    def cost(self, indices: Sequence[int]) -> float:
+        return self._cached(self._cost_cache, super().cost, indices)
+
+    def size(self, indices: Sequence[int]) -> float:
+        return self._cached(self._size_cache, super().size, indices)
+
+    def cache_info(self) -> Dict[str, int]:
+        return {"hits": self.cache_hits, "misses": self.cache_misses}

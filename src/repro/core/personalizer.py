@@ -1,0 +1,171 @@
+"""The end-to-end façade wiring Figure 2's architecture together.
+
+``Personalizer.personalize`` runs the full pipeline for one request:
+
+1. *Preference Space* — extract P (and D/C/S) from the profile;
+2. *CQP State Space Search* — solve the given Table 1 problem;
+3. *Personalized Query Construction* — rewrite Q with the chosen
+   preferences;
+4. optionally *Query Execution* — run the result on the database engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from repro.core import adapters
+from repro.core.preference_space import PreferenceSpace, extract_preference_space
+from repro.core.problem import CQPProblem
+from repro.core.rewriter import QueryRewriter
+from repro.core.solution import CQPSolution
+from repro.preferences.composition import DoiAlgebra, PRODUCT_ALGEBRA
+from repro.preferences.model import PreferencePath
+from repro.preferences.profile import UserProfile
+from repro.sql.ast_nodes import QueryNode, SelectQuery
+from repro.sql.executor import ExecutionResult, Executor
+from repro.sql.parser import parse_select
+from repro.sql.printer import to_sql
+from repro.storage.database import Database
+
+
+@dataclass
+class PersonalizationOutcome:
+    """Everything one personalization request produced."""
+
+    problem: CQPProblem
+    original_query: SelectQuery
+    personalized_query: QueryNode
+    solution: Optional[CQPSolution]
+    paths: List[PreferencePath] = field(default_factory=list)
+    preference_space: Optional[PreferenceSpace] = None
+
+    @property
+    def personalized(self) -> bool:
+        """False when no feasible personalization existed and the
+        original query is returned unchanged."""
+        return self.solution is not None and bool(self.paths)
+
+    @property
+    def sql(self) -> str:
+        return to_sql(self.personalized_query)
+
+    def __str__(self) -> str:
+        if not self.personalized:
+            return "PersonalizationOutcome(unpersonalized: no feasible solution)"
+        assert self.solution is not None
+        return "PersonalizationOutcome(%d preferences, doi=%.4f, est. cost=%.1fms)" % (
+            len(self.paths),
+            self.solution.doi,
+            self.solution.cost,
+        )
+
+
+class Personalizer:
+    """Public entry point for constrained query personalization."""
+
+    def __init__(
+        self,
+        database: Database,
+        algebra: DoiAlgebra = PRODUCT_ALGEBRA,
+        default_algorithm: str = "c_maxbounds",
+    ) -> None:
+        if not database.analyzed:
+            database.analyze()
+        self.database = database
+        self.algebra = algebra
+        self.default_algorithm = default_algorithm
+        self.executor = Executor(database)
+
+    def personalize(
+        self,
+        query: Union[str, SelectQuery],
+        profile: UserProfile,
+        problem: CQPProblem,
+        algorithm: Optional[str] = None,
+        k_limit: Optional[int] = None,
+    ) -> PersonalizationOutcome:
+        """Personalize ``query`` for ``profile`` under ``problem``.
+
+        When no personalized query satisfies the constraints, the
+        outcome carries the original query unchanged
+        (``outcome.personalized`` is False) rather than failing: an
+        unpersonalized answer beats no answer.
+        """
+        if isinstance(query, str):
+            query = parse_select(query)
+        pspace = extract_preference_space(
+            self.database,
+            query,
+            profile,
+            constraints=problem.constraints,
+            algebra=self.algebra,
+            k_limit=k_limit,
+        )
+        if algorithm is None:
+            # Problem-aware default: the greedy default is unreliable on
+            # size-window problems (see adapters.recommended_algorithm).
+            algorithm = (
+                self.default_algorithm
+                if not problem.constraints.has_size_bounds
+                else adapters.recommended_algorithm(problem)
+            )
+        solution = (
+            adapters.solve(pspace, problem, algorithm) if pspace.k > 0 else None
+        )
+        paths = (
+            [pspace.paths[i] for i in solution.pref_indices]
+            if solution is not None
+            else []
+        )
+        personalized_query = QueryRewriter(
+            query, schema=self.database.schema
+        ).personalized_query(paths)
+        return PersonalizationOutcome(
+            problem=problem,
+            original_query=query,
+            personalized_query=personalized_query,
+            solution=solution,
+            paths=paths,
+            preference_space=pspace,
+        )
+
+    def execute(self, outcome: PersonalizationOutcome) -> ExecutionResult:
+        """Run the outcome's (personalized) query on the database."""
+        return self.executor.execute(outcome.personalized_query)
+
+    def explain(self, outcome: PersonalizationOutcome, use_indexes: bool = False) -> str:
+        """EXPLAIN-style plan tree for the outcome's query.
+
+        Runs the Figure 2 "Query Optimization" module (the planner) over
+        the constructed query and renders the operator tree.
+        """
+        from repro.sql.planner import Planner
+
+        plan = Planner(self.database, use_indexes=use_indexes).plan(
+            outcome.personalized_query
+        )
+        return plan.explain()
+
+    def execute_ranked(self, outcome: PersonalizationOutcome, min_matches: int = 1):
+        """Relaxed m-of-L execution with doi-ranked answers.
+
+        Instead of the strict all-preferences intersection, return every
+        tuple satisfying at least ``min_matches`` of the outcome's
+        preferences, ranked by the ``r``-composed doi of the
+        preferences it satisfies (Sections 3 and 4.2). Falls back to a
+        plain execution when the outcome carries no preferences.
+        """
+        from repro.core.ranking import RankedRow, rank_results
+
+        if not outcome.paths:
+            result = self.execute(outcome)
+            return [RankedRow(row=row, doi=0.0, satisfied=()) for row in result.rows]
+        return rank_results(
+            self.database,
+            outcome.original_query,
+            outcome.paths,
+            min_matches=min_matches,
+            algebra=self.algebra,
+            executor=self.executor,
+        )

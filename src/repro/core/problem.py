@@ -1,0 +1,185 @@
+"""CQP problem statements (Table 1 of the paper).
+
+A CQP problem optimizes exactly one query parameter while the others are
+range-constrained. Not every combination is meaningful (Section 4.1):
+
+* **doi** may only be maximized or bounded below — personalization exists
+  to raise interest;
+* **cost** may only be minimized or bounded above;
+* **size** is never optimized; it may be bounded below (default 1 — empty
+  answers are always undesirable) and/or above.
+
+The six meaningful combinations are Problems 1–6 of Table 1; the factory
+classmethods construct them and :meth:`CQPProblem.table1_number`
+classifies an arbitrary instance back to its row.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ProblemSpecError
+
+
+class Parameter(enum.Enum):
+    """The three query parameters of CQP."""
+
+    DOI = "doi"
+    COST = "cost"
+    SIZE = "size"
+
+
+@dataclass(frozen=True)
+class Constraints:
+    """Range constraints on the non-optimized parameters.
+
+    ``None`` means unconstrained. Feasibility uses a small relative
+    tolerance on the bounds so floating-point estimation noise at a bound
+    never flips a verdict.
+    """
+
+    cmax: Optional[float] = None
+    dmin: Optional[float] = None
+    smin: Optional[float] = None
+    smax: Optional[float] = None
+
+    _TOLERANCE = 1e-9
+
+    def __post_init__(self) -> None:
+        if self.cmax is not None and self.cmax < 0:
+            raise ProblemSpecError("cmax must be non-negative, got %r" % (self.cmax,))
+        if self.dmin is not None and not 0.0 <= self.dmin <= 1.0:
+            raise ProblemSpecError("dmin must be in [0, 1], got %r" % (self.dmin,))
+        if self.smin is not None and self.smin < 0:
+            raise ProblemSpecError("smin must be non-negative, got %r" % (self.smin,))
+        if self.smax is not None and self.smax < 0:
+            raise ProblemSpecError("smax must be non-negative, got %r" % (self.smax,))
+        if self.smin is not None and self.smax is not None and self.smin > self.smax:
+            raise ProblemSpecError(
+                "empty size window: smin=%r > smax=%r" % (self.smin, self.smax)
+            )
+
+    @property
+    def has_size_bounds(self) -> bool:
+        return self.smin is not None or self.smax is not None
+
+    def satisfies(self, doi: float, cost: float, size: float) -> bool:
+        """True when (doi, cost, size) meets every stated bound."""
+        tol = self._TOLERANCE
+        if self.cmax is not None and cost > self.cmax * (1 + tol) + tol:
+            return False
+        if self.dmin is not None and doi < self.dmin * (1 - tol) - tol:
+            return False
+        if self.smin is not None and size < self.smin * (1 - tol) - tol:
+            return False
+        if self.smax is not None and size > self.smax * (1 + tol) + tol:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class CQPProblem:
+    """One member of the CQP family: an objective plus constraints."""
+
+    objective: Parameter
+    constraints: Constraints
+
+    def __post_init__(self) -> None:
+        if self.objective is Parameter.SIZE:
+            raise ProblemSpecError("size is never optimized in CQP (Section 4.1)")
+        if self.objective is Parameter.DOI:
+            if self.constraints.dmin is not None:
+                raise ProblemSpecError(
+                    "maximizing doi is incompatible with a doi lower bound"
+                )
+            if self.constraints.cmax is None and not self.constraints.has_size_bounds:
+                raise ProblemSpecError(
+                    "maximizing doi needs a cost or size constraint — otherwise the "
+                    "'over-personalized' query incorporating every preference wins"
+                )
+        else:  # minimizing cost
+            if self.constraints.cmax is not None:
+                raise ProblemSpecError(
+                    "minimizing cost is incompatible with a cost upper bound"
+                )
+            if self.constraints.dmin is None and not self.constraints.has_size_bounds:
+                raise ProblemSpecError(
+                    "minimizing cost needs a doi or size constraint — otherwise the "
+                    "original query is trivially optimal"
+                )
+
+    # -- Table 1 factories ------------------------------------------------------
+
+    @classmethod
+    def problem1(cls, smin: float = 1.0, smax: Optional[float] = None) -> "CQPProblem":
+        """MAX doi subject to smin ≤ size ≤ smax."""
+        return cls(Parameter.DOI, Constraints(smin=smin, smax=smax))
+
+    @classmethod
+    def problem2(cls, cmax: float) -> "CQPProblem":
+        """MAX doi subject to cost ≤ cmax (the paper's running example)."""
+        return cls(Parameter.DOI, Constraints(cmax=cmax))
+
+    @classmethod
+    def problem3(
+        cls, cmax: float, smin: float = 1.0, smax: Optional[float] = None
+    ) -> "CQPProblem":
+        """MAX doi subject to cost ≤ cmax and smin ≤ size ≤ smax."""
+        return cls(Parameter.DOI, Constraints(cmax=cmax, smin=smin, smax=smax))
+
+    @classmethod
+    def problem4(cls, dmin: float) -> "CQPProblem":
+        """MIN cost subject to doi ≥ dmin."""
+        return cls(Parameter.COST, Constraints(dmin=dmin))
+
+    @classmethod
+    def problem5(
+        cls, dmin: float, smin: float = 1.0, smax: Optional[float] = None
+    ) -> "CQPProblem":
+        """MIN cost subject to doi ≥ dmin and smin ≤ size ≤ smax."""
+        return cls(Parameter.COST, Constraints(dmin=dmin, smin=smin, smax=smax))
+
+    @classmethod
+    def problem6(cls, smin: float = 1.0, smax: Optional[float] = None) -> "CQPProblem":
+        """MIN cost subject to smin ≤ size ≤ smax."""
+        if smax is None and (smin is None or smin <= 1.0):
+            # Without a real size window, the cheapest feasible query would
+            # degenerate; require a binding bound.
+            raise ProblemSpecError("problem 6 needs a binding size constraint")
+        return cls(Parameter.COST, Constraints(smin=smin, smax=smax))
+
+    # -- classification -----------------------------------------------------------
+
+    def table1_number(self) -> int:
+        """The row of Table 1 this instance corresponds to."""
+        c = self.constraints
+        if self.objective is Parameter.DOI:
+            if c.cmax is None:
+                return 1
+            return 3 if c.has_size_bounds else 2
+        if c.dmin is not None:
+            return 5 if c.has_size_bounds else 4
+        return 6
+
+    @property
+    def maximizing(self) -> bool:
+        return self.objective is Parameter.DOI
+
+    def satisfies(self, doi: float, cost: float, size: float) -> bool:
+        return self.constraints.satisfies(doi, cost, size)
+
+    def __str__(self) -> str:
+        c = self.constraints
+        parts = []
+        if c.cmax is not None:
+            parts.append("cost <= %g" % c.cmax)
+        if c.dmin is not None:
+            parts.append("doi >= %g" % c.dmin)
+        if c.smin is not None:
+            parts.append("size >= %g" % c.smin)
+        if c.smax is not None:
+            parts.append("size <= %g" % c.smax)
+        verb = "MAX doi" if self.maximizing else "MIN cost"
+        return "%s s.t. %s (Problem %d)" % (verb, ", ".join(parts), self.table1_number())

@@ -1,0 +1,87 @@
+"""Ranked personalized retrieval.
+
+Section 4.2: "The results of this query may be ranked based on their
+degree of interest", and Section 3: results should be ranked by the
+conjunction function ``r`` over the preferences they satisfy. Under the
+paper's all-preferences construction every answer satisfies every
+integrated preference, so the ranking is flat; ranking becomes
+informative with the relaxed m-of-L matching
+(:meth:`QueryRewriter.personalized_query` with ``min_matches``).
+
+:func:`rank_results` executes each preference's sub-query once, tallies
+which preferences each tuple satisfies, and scores tuples with
+``r({doi(p) | p satisfied})`` — exactly the tuple-level analogue of the
+state-level doi the search optimized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.rewriter import QueryRewriter
+from repro.errors import SearchError
+from repro.preferences.composition import DoiAlgebra, PRODUCT_ALGEBRA
+from repro.preferences.model import PreferencePath
+from repro.sql.ast_nodes import SelectQuery
+from repro.sql.executor import Executor
+from repro.storage.database import Database
+from repro.storage.table import Row
+
+
+@dataclass(frozen=True)
+class RankedRow:
+    """One answer tuple with its interest score."""
+
+    row: Row
+    doi: float
+    satisfied: Tuple[int, ...]  # indices into the ranked query's path list
+
+    @property
+    def match_count(self) -> int:
+        return len(self.satisfied)
+
+
+def rank_results(
+    database: Database,
+    query: SelectQuery,
+    paths: Sequence[PreferencePath],
+    min_matches: int = 1,
+    algebra: DoiAlgebra = PRODUCT_ALGEBRA,
+    executor: Optional[Executor] = None,
+) -> List[RankedRow]:
+    """Execute m-of-L personalization and rank answers by doi.
+
+    Returns tuples satisfying at least ``min_matches`` of ``paths``,
+    scored by ``r`` over the dois of the preferences they satisfy and
+    sorted by decreasing score (ties: by descending match count, then
+    row order for determinism).
+    """
+    if not paths:
+        raise SearchError("ranking needs at least one preference path")
+    if not 1 <= min_matches <= len(paths):
+        raise SearchError(
+            "min_matches %r outside [1, %d]" % (min_matches, len(paths))
+        )
+    if executor is None:
+        executor = Executor(database)
+    rewriter = QueryRewriter(query, schema=database.schema)
+
+    satisfied_by: Dict[Row, Set[int]] = {}
+    for index, path in enumerate(paths):
+        result = executor.execute(rewriter.subquery(path))
+        for row in result.rows:
+            satisfied_by.setdefault(row, set()).add(index)
+
+    dois = [path.doi(algebra) for path in paths]
+    ranked = [
+        RankedRow(
+            row=row,
+            doi=algebra.conjunction_doi([dois[i] for i in sorted(indices)]),
+            satisfied=tuple(sorted(indices)),
+        )
+        for row, indices in satisfied_by.items()
+        if len(indices) >= min_matches
+    ]
+    ranked.sort(key=lambda r: (-r.doi, -r.match_count, r.row))
+    return ranked

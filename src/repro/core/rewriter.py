@@ -1,0 +1,181 @@
+"""Personalized Query Construction (Section 4.2).
+
+Given the original query Q and the preference paths the search selected,
+build the final query: one sub-query per preference (Q with the path's
+joins and selections spliced in), combined as
+
+    SELECT cols FROM (q1 UNION ALL q2 ...) GROUP BY cols
+    HAVING COUNT(*) = L
+
+so the answer contains exactly the tuples satisfying *all* L integrated
+preferences. Sub-queries are emitted DISTINCT — a deviation from the
+paper's example required for correctness: a path join with fan-out
+(e.g. a movie with two matching genres) would otherwise double-count
+inside one sub-query and break the HAVING COUNT(*) = L intersection.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SearchError
+from repro.preferences.model import JoinCondition, PreferencePath, SelectionCondition
+from repro.sql.ast_nodes import (
+    ColumnRef,
+    Comparison,
+    GroupByHavingCount,
+    Literal,
+    QueryNode,
+    SelectQuery,
+    TableRef,
+    UnionAllQuery,
+)
+from repro.storage.schema import Schema
+
+
+class QueryRewriter:
+    """Splices preference paths into one original query.
+
+    When a ``schema`` is supplied, unqualified column references in the
+    base query are resolved and qualified first — necessary because the
+    splice adds relations that may share attribute names with the base
+    query (``select name from RESTAURANT`` joined with CUISINE would
+    otherwise make ``name`` ambiguous).
+    """
+
+    def __init__(self, query: SelectQuery, schema: Optional[Schema] = None) -> None:
+        self.query = self._qualify(query, schema) if schema is not None else query
+
+    @staticmethod
+    def _qualify(query: SelectQuery, schema: Schema) -> SelectQuery:
+        def resolve(ref: ColumnRef) -> ColumnRef:
+            if ref.qualifier is not None:
+                return ref
+            owners = [
+                table.binding_name
+                for table in query.from_tables
+                if schema.relation(table.relation).has_attribute(ref.name)
+            ]
+            if len(owners) != 1:
+                raise SearchError(
+                    "cannot qualify column %r uniquely in the base query" % ref.name
+                )
+            return ColumnRef(name=ref.name, qualifier=owners[0])
+
+        select = tuple(resolve(c) for c in query.select)
+        where = tuple(
+            Comparison(
+                resolve(c.left),
+                c.op,
+                c.right if isinstance(c.right, Literal) else resolve(c.right),
+            )
+            for c in query.where
+        )
+        return SelectQuery(
+            select=select,
+            from_tables=query.from_tables,
+            where=where,
+            distinct=query.distinct,
+            order_by=query.order_by,
+            limit=query.limit,
+        )
+
+    # -- binding ------------------------------------------------------------------
+
+    def _binding_for(self, relation: str) -> Optional[str]:
+        """The qualifier Q binds ``relation`` under, if it appears in Q.
+
+        With self-joins in Q the first binding wins (documented
+        limitation; the paper's queries have no self-joins).
+        """
+        for table in self.query.from_tables:
+            if table.relation == relation:
+                return table.binding_name
+        return None
+
+    def integration(
+        self, path: PreferencePath
+    ) -> Tuple[Tuple[str, ...], Tuple[Comparison, ...]]:
+        """(new tables, re-qualified conditions) integrating ``path``.
+
+        The path's anchor must be a relation of Q ("syntactically
+        related", Section 4.4). Relations Q already joins are reused
+        rather than added twice.
+        """
+        anchor_binding = self._binding_for(path.anchor_relation)
+        if anchor_binding is None:
+            raise SearchError(
+                "path %s is not anchored in the query (relations: %s)"
+                % (path, ", ".join(t.relation for t in self.query.from_tables))
+            )
+        qualifiers: Dict[str, str] = {path.anchor_relation: anchor_binding}
+        new_tables: List[str] = []
+        for relation in path.joined_relations:
+            existing = self._binding_for(relation)
+            if existing is not None:
+                qualifiers[relation] = existing
+            else:
+                qualifiers[relation] = relation
+                new_tables.append(relation)
+        conditions: List[Comparison] = []
+        for condition in path.conditions:
+            if isinstance(condition, SelectionCondition):
+                conditions.append(
+                    condition.to_comparison(qualifier=qualifiers[condition.relation])
+                )
+            else:
+                assert isinstance(condition, JoinCondition)
+                conditions.append(
+                    condition.to_comparison(
+                        left_qualifier=qualifiers[condition.left_relation],
+                        right_qualifier=qualifiers[condition.right_relation],
+                    )
+                )
+        return tuple(new_tables), tuple(conditions)
+
+    def subquery(self, path: PreferencePath) -> SelectQuery:
+        """The sub-query ``q_i`` integrating one preference path."""
+        tables, conditions = self.integration(path)
+        extended = self.query.with_extra(
+            tables=tuple(TableRef(name) for name in tables),
+            conditions=conditions,
+        )
+        return SelectQuery(
+            select=extended.select,
+            from_tables=extended.from_tables,
+            where=extended.where,
+            distinct=True,
+        )
+
+    def personalized_query(
+        self,
+        paths: Sequence[PreferencePath],
+        min_matches: Optional[int] = None,
+    ) -> QueryNode:
+        """The final personalized query for a set of selected paths.
+
+        No paths → the original query unchanged. One path → its
+        sub-query alone (the UNION/HAVING wrapper would be a no-op).
+
+        ``min_matches`` relaxes the paper's all-preferences intersection
+        to m-of-L matching: tuples satisfying at least ``min_matches``
+        of the integrated preferences (``HAVING COUNT(*) >= m``), the
+        form ranked retrieval builds on. Default: all L.
+        """
+        if not paths:
+            return self.query
+        if min_matches is not None and not 1 <= min_matches <= len(paths):
+            raise SearchError(
+                "min_matches %r outside [1, %d]" % (min_matches, len(paths))
+            )
+        subqueries = tuple(self.subquery(path) for path in paths)
+        if len(subqueries) == 1:
+            return subqueries[0]
+        group_by = tuple(column.name for column in self.query.select)
+        at_least = min_matches is not None and min_matches < len(subqueries)
+        return GroupByHavingCount(
+            source=UnionAllQuery(subqueries=subqueries),
+            group_by=group_by,
+            count_equals=len(subqueries) if min_matches is None else min_matches,
+            at_least=at_least,
+        )

@@ -1,0 +1,164 @@
+"""A personalization service: the system of the paper's introduction.
+
+"Al is registered with a web-based service providing tourist
+information ... The system responds to his requests by taking into
+account a profile of his personal preferences that it maintains as well
+as the search context at the time of the request."
+
+:class:`PersonalizationService` is that system in library form:
+
+* a per-user profile store (register explicitly, or let profiles be
+  *learned* — every request is logged, and profiles are periodically
+  re-distilled from each user's log and blended into the stored profile);
+* context handling: each request carries a :class:`SearchContext`, the
+  policy maps it to the right Table 1 problem;
+* the full pipeline per request (extract → search → rewrite → execute),
+  returning rows plus the solution metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from repro.core.context import SearchContext, problem_for_context
+from repro.core.personalizer import PersonalizationOutcome, Personalizer
+from repro.core.problem import CQPProblem
+from repro.errors import PreferenceError
+from repro.preferences.composition import DoiAlgebra, PRODUCT_ALGEBRA
+from repro.preferences.learning import LearningConfig, learn_profile, merge_profiles
+from repro.preferences.profile import UserProfile
+from repro.sql.ast_nodes import SelectQuery
+from repro.sql.parser import parse_select
+from repro.storage.database import Database
+from repro.storage.table import Row
+
+
+@dataclass
+class ServiceResponse:
+    """What one request returns: the answer plus how it was produced."""
+
+    user: str
+    outcome: PersonalizationOutcome
+    rows: List[Row]
+    elapsed_ms: float
+
+    @property
+    def personalized(self) -> bool:
+        return self.outcome.personalized
+
+
+@dataclass
+class _UserState:
+    profile: UserProfile
+    query_log: List[SelectQuery] = field(default_factory=list)
+    requests_since_relearn: int = 0
+
+
+class PersonalizationService:
+    """Multi-user façade over one database."""
+
+    def __init__(
+        self,
+        database: Database,
+        algebra: DoiAlgebra = PRODUCT_ALGEBRA,
+        relearn_every: int = 0,
+        learning_config: LearningConfig = LearningConfig(),
+        learning_weight: float = 0.3,
+    ) -> None:
+        """``relearn_every``: after that many requests a user's profile is
+        re-blended with one learned from their query log (0 = never)."""
+        if relearn_every < 0:
+            raise ValueError("relearn_every must be >= 0")
+        self.personalizer = Personalizer(database, algebra=algebra)
+        self.relearn_every = relearn_every
+        self.learning_config = learning_config
+        self.learning_weight = learning_weight
+        self._users: Dict[str, _UserState] = {}
+
+    # -- user management ----------------------------------------------------------
+
+    def register(self, user: str, profile: Optional[UserProfile] = None) -> None:
+        """Register a user, optionally with a curated starting profile."""
+        if user in self._users:
+            raise PreferenceError("user %r already registered" % user)
+        self._users[user] = _UserState(profile=profile or UserProfile(user))
+
+    def profile_of(self, user: str) -> UserProfile:
+        return self._state(user).profile
+
+    def query_log_of(self, user: str) -> List[SelectQuery]:
+        return list(self._state(user).query_log)
+
+    @property
+    def users(self) -> List[str]:
+        return sorted(self._users)
+
+    def _state(self, user: str) -> _UserState:
+        try:
+            return self._users[user]
+        except KeyError:
+            raise PreferenceError("unknown user %r" % user) from None
+
+    # -- the request loop ----------------------------------------------------------
+
+    def request(
+        self,
+        user: str,
+        query: Union[str, SelectQuery],
+        context: Optional[SearchContext] = None,
+        problem: Optional[CQPProblem] = None,
+        algorithm: Optional[str] = None,
+    ) -> ServiceResponse:
+        """Answer one request for ``user``.
+
+        The Table 1 problem comes from ``problem`` when given, else from
+        the ``context`` via the policy. The query is logged for learning
+        and, when due, the user's profile is re-learned and blended.
+        """
+        state = self._state(user)
+        if isinstance(query, str):
+            query = parse_select(query)
+        if problem is None:
+            if context is None:
+                raise PreferenceError("a request needs a context or a problem")
+            problem = problem_for_context(context)
+
+        state.query_log.append(query)
+        state.requests_since_relearn += 1
+        if self.relearn_every and state.requests_since_relearn >= self.relearn_every:
+            self._relearn(user)
+
+        outcome = self.personalizer.personalize(
+            query, state.profile, problem, algorithm=algorithm
+        )
+        result = self.personalizer.execute(outcome)
+        return ServiceResponse(
+            user=user,
+            outcome=outcome,
+            rows=result.rows,
+            elapsed_ms=result.elapsed_ms,
+        )
+
+    # -- learning -----------------------------------------------------------------
+
+    def _relearn(self, user: str) -> None:
+        state = self._state(user)
+        state.requests_since_relearn = 0
+        try:
+            observed = learn_profile(
+                state.query_log, name="%s-observed" % user, config=self.learning_config
+            )
+        except PreferenceError:
+            return  # nothing learnable yet
+        state.profile = merge_profiles(
+            state.profile,
+            observed,
+            weight=self.learning_weight,
+            name=state.profile.name,
+        )
+
+    def relearn_now(self, user: str) -> UserProfile:
+        """Force a relearn cycle; returns the (possibly updated) profile."""
+        self._relearn(user)
+        return self._state(user).profile

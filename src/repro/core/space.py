@@ -1,0 +1,301 @@
+"""Search spaces: order vectors bound to an evaluator and a problem.
+
+A :class:`SearchSpace` is what the Section 5 algorithms operate on. It
+fixes one rank vector (C, D, or S), translates rank states to preference
+sets, evaluates the *budget* parameter (the constraint the boundary
+structure is built on — cost for Problem 2), the *objective* (doi for
+Problems 1–3), and any extra feasibility predicates (e.g. size bounds in
+Problem 3, checked outside the boundary machinery per Section 6).
+
+``budget_aligned`` records whether the vector sorts the budget's
+per-preference contributions in decreasing order — the property the
+C-space algorithms exploit (Vertical moves are then guaranteed to lower
+the budget). It holds for (C, cost) and (S, −size); not for (D, cost).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core import transitions as tr
+from repro.core.estimation import StateEvaluator
+from repro.core.preference_space import PreferenceSpace
+from repro.core.problem import CQPProblem, Parameter
+from repro.core.solution import CQPSolution
+from repro.core.state import State, make_state
+from repro.core.stats import SearchStats
+from repro.errors import SearchError
+
+_TOL = 1e-9
+
+
+class SearchSpace:
+    """One rank vector + evaluation functions, the algorithms' substrate."""
+
+    def __init__(
+        self,
+        vector: Sequence[int],
+        evaluator: StateEvaluator,
+        budget: Callable[[Sequence[int]], float],
+        limit: float,
+        objective: Callable[[Sequence[int]], float],
+        objective_upper_bound: Callable[[int], float],
+        budget_aligned: bool,
+        extra: Optional[Callable[[Sequence[int]], bool]] = None,
+        name: str = "",
+    ) -> None:
+        if sorted(vector) != list(range(len(vector))):
+            raise SearchError("vector must be a permutation of 0..K-1")
+        self.vector: Tuple[int, ...] = tuple(vector)
+        self.evaluator = evaluator
+        self._budget = budget
+        self.limit = limit
+        self._objective = objective
+        self._upper_bound = objective_upper_bound
+        self.budget_aligned = budget_aligned
+        self._extra = extra
+        self.name = name
+
+    @property
+    def k(self) -> int:
+        return len(self.vector)
+
+    # -- state interpretation ---------------------------------------------------
+
+    def prefs(self, state: State) -> Tuple[int, ...]:
+        """Translate a rank state to the P-indices it denotes."""
+        return tuple(self.vector[rank] for rank in state)
+
+    def budget_value(self, state: State) -> float:
+        return self._budget(self.prefs(state))
+
+    def within_budget(self, state: State) -> bool:
+        return self.budget_value(state) <= self.limit + abs(self.limit) * _TOL + _TOL
+
+    def objective_value(self, state: State) -> float:
+        return self._objective(self.prefs(state))
+
+    def upper_bound(self, group: int) -> float:
+        """Optimistic objective for any state of ``group`` preferences."""
+        return self._upper_bound(group)
+
+    def extra_feasible(self, state: State) -> bool:
+        return True if self._extra is None else self._extra(self.prefs(state))
+
+    @property
+    def has_extra(self) -> bool:
+        return self._extra is not None
+
+    def fully_feasible(self, state: State) -> bool:
+        return self.within_budget(state) and self.extra_feasible(state)
+
+    # -- solutions -----------------------------------------------------------------
+
+    def solution_from_prefs(
+        self, indices: Sequence[int], algorithm: str, stats: SearchStats
+    ) -> CQPSolution:
+        """Materialize a solution record from a set of P-indices."""
+        prefs = make_state(indices)
+        return CQPSolution(
+            pref_indices=prefs,
+            doi=self.evaluator.doi(prefs),
+            cost=self.evaluator.cost(prefs),
+            size=self.evaluator.size(prefs),
+            algorithm=algorithm,
+            stats=stats,
+        )
+
+    def solution(self, state: State, algorithm: str, stats: SearchStats) -> CQPSolution:
+        """Materialize a solution record from a rank state."""
+        return self.solution_from_prefs(self.prefs(state), algorithm, stats)
+
+    # -- transitions (rank-level, delegated) -----------------------------------------
+
+    def horizontal(self, state: State) -> Optional[State]:
+        return tr.horizontal(state, self.k)
+
+    def vertical(self, state: State) -> List[State]:
+        return tr.vertical(state, self.k)
+
+    def horizontal2(self, state: State) -> List[State]:
+        return tr.horizontal2(state, self.k)
+
+
+class SpaceBundle:
+    """Couples an extracted preference space with one CQP problem and
+    manufactures the concrete search spaces the algorithms run on.
+
+    Parameter evaluation is cached by default, per Section 5.2.1
+    ("Costs that may be re-used are cached. This technique is used in
+    all algorithms proposed").
+    """
+
+    def __init__(
+        self, pspace: PreferenceSpace, problem: CQPProblem, cached: bool = True
+    ) -> None:
+        from repro.core.estimation import CachedStateEvaluator
+
+        self.pspace = pspace
+        self.problem = problem
+        self.evaluator = (
+            CachedStateEvaluator.wrap(pspace.evaluator())
+            if cached
+            else pspace.evaluator()
+        )
+
+    @property
+    def k(self) -> int:
+        return self.pspace.k
+
+    # -- feasibility pieces --------------------------------------------------------
+
+    def _size_extra(self) -> Optional[Callable[[Sequence[int]], bool]]:
+        constraints = self.problem.constraints
+        if not constraints.has_size_bounds:
+            return None
+        evaluator = self.evaluator
+
+        def check(indices: Sequence[int]) -> bool:
+            size = evaluator.size(indices)
+            if constraints.smin is not None and size < constraints.smin * (1 - _TOL) - _TOL:
+                return False
+            if constraints.smax is not None and size > constraints.smax * (1 + _TOL) + _TOL:
+                return False
+            return True
+
+        return check
+
+    def _smin_only_extra(self) -> Optional[Callable[[Sequence[int]], bool]]:
+        """The predicate left over when smin drives the budget.
+
+        Without conflicts only the smax side needs re-checking; with
+        conflict pairs present the budget runs on the independence
+        product, so the conflict-aware smin must be re-checked too.
+        """
+        constraints = self.problem.constraints
+        evaluator = self.evaluator
+        if constraints.smax is None and not evaluator.conflicts:
+            return None
+        if not evaluator.conflicts:
+            smax = constraints.smax
+
+            def check(indices: Sequence[int]) -> bool:
+                return evaluator.size(indices) <= smax * (1 + _TOL) + _TOL
+
+            return check
+        return self._size_extra()
+
+    def _doi_upper_bound(self, group: int) -> float:
+        return self.evaluator.best_doi_of_size(group)
+
+    # -- space constructors ------------------------------------------------------------
+
+    def cost_space(self) -> SearchSpace:
+        """The Problem 2/3 cost space: vector C, budget = cost ≤ cmax."""
+        cmax = self.problem.constraints.cmax
+        if cmax is None:
+            raise SearchError("cost space needs a cost upper bound (Problems 2-3)")
+        return SearchSpace(
+            vector=self.pspace.vector_c,
+            evaluator=self.evaluator,
+            budget=self.evaluator.cost,
+            limit=cmax,
+            objective=self.evaluator.doi,
+            objective_upper_bound=self._doi_upper_bound,
+            budget_aligned=True,
+            extra=self._size_extra(),
+            name="cost",
+        )
+
+    def doi_space(self) -> SearchSpace:
+        """The D-algorithm space: vector D, budget from the problem.
+
+        With a cost bound (Problems 2-3) the budget is cost ≤ cmax; with
+        only size bounds (Problem 1) it is −size ≤ −smin, mirroring
+        :meth:`size_space` — the Section 6 direction flip.
+        """
+        constraints = self.problem.constraints
+        if constraints.cmax is not None:
+            budget = self.evaluator.cost
+            limit: float = constraints.cmax
+            extra = self._size_extra()
+        elif constraints.smin is not None:
+            evaluator = self.evaluator
+
+            def budget(indices: Sequence[int]) -> float:
+                return -evaluator.size_independent(indices)
+
+            limit = -constraints.smin
+            extra = self._smin_only_extra()
+        else:
+            raise SearchError("doi space needs a cost or size constraint")
+        return SearchSpace(
+            vector=self.pspace.vector_d,
+            evaluator=self.evaluator,
+            budget=budget,
+            limit=limit,
+            objective=self.evaluator.doi,
+            objective_upper_bound=self._doi_upper_bound,
+            budget_aligned=False,
+            extra=extra,
+            name="doi",
+        )
+
+    def aligned_space(self) -> SearchSpace:
+        """The budget-aligned space for this problem: C under a cost
+        bound, S under a pure size bound."""
+        if self.problem.constraints.cmax is not None:
+            return self.cost_space()
+        return self.size_space()
+
+    def size_space(self) -> SearchSpace:
+        """The Problem 1 space (Section 6): vector S, budget = −size ≤ −smin.
+
+        Horizontal moves add the strongest remaining filter (smaller
+        result, higher doi); Vertical moves swap in a weaker filter
+        (larger result). The smax side — satisfied by *small* groups — is
+        handled as an extra predicate during the second phase, the
+        UpBoundaries/LowBoundaries device of Section 6 in predicate form.
+        """
+        constraints = self.problem.constraints
+        if constraints.smin is None:
+            raise SearchError("size space needs a size lower bound (Problem 1)")
+        evaluator = self.evaluator
+        smin = constraints.smin
+
+        def budget(indices: Sequence[int]) -> float:
+            # The independence product keeps Vertical moves monotone
+            # (see StateEvaluator.size_independent); conflicts are
+            # re-checked by the extra predicate.
+            return -evaluator.size_independent(indices)
+
+        return SearchSpace(
+            vector=self.pspace.vector_s,
+            evaluator=self.evaluator,
+            budget=budget,
+            limit=-smin,
+            objective=self.evaluator.doi,
+            objective_upper_bound=self._doi_upper_bound,
+            budget_aligned=True,
+            extra=self._smin_only_extra(),
+            name="size",
+        )
+
+    def default_space(self) -> SearchSpace:
+        """The natural space for the bundle's problem (doi-max problems)."""
+        if self.problem.objective is not Parameter.DOI:
+            raise SearchError(
+                "default_space covers doi-maximization; use repro.core.adapters "
+                "for the cost-minimization problems (4-6)"
+            )
+        if self.problem.constraints.cmax is not None:
+            return self.cost_space()
+        return self.size_space()
+
+    # -- solutions --------------------------------------------------------------------
+
+    def solution(
+        self, space: SearchSpace, state: State, algorithm: str, stats: SearchStats
+    ) -> CQPSolution:
+        """Materialize a solution record from a rank state."""
+        return space.solution(state, algorithm, stats)

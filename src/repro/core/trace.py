@@ -1,0 +1,113 @@
+"""Search tracing.
+
+Wraps a :class:`SearchSpace` so every transition and feasibility check
+an algorithm performs is recorded as an event. Useful for debugging a
+search, teaching the algorithms (the Figure 6/8 walk-throughs in the
+paper are exactly such traces), and asserting exploration properties in
+tests without touching algorithm internals.
+
+>>> from repro.workloads.scenarios import figure6_cost_space
+>>> from repro.core.algorithms import CBoundaries
+>>> traced = TracedSpace(figure6_cost_space())
+>>> _ = CBoundaries().solve(traced)
+>>> traced.trace.counts()["feasibility"] > 0
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.space import SearchSpace
+from repro.core.state import State
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded step of a search."""
+
+    kind: str  # "feasibility" | "horizontal" | "vertical" | "horizontal2" | "objective"
+    state: State
+    detail: Tuple = ()
+
+    def __str__(self) -> str:
+        text = "%s %s" % (self.kind, self.state)
+        if self.detail:
+            text += " -> %s" % (self.detail,)
+        return text
+
+
+@dataclass
+class SearchTrace:
+    """An append-only log of trace events."""
+
+    events: List[TraceEvent] = field(default_factory=list)
+
+    def record(self, kind: str, state: State, detail: Tuple = ()) -> None:
+        self.events.append(TraceEvent(kind=kind, state=state, detail=detail))
+
+    def counts(self) -> Dict[str, int]:
+        tally: Dict[str, int] = {}
+        for event in self.events:
+            tally[event.kind] = tally.get(event.kind, 0) + 1
+        return tally
+
+    def states_checked(self) -> List[State]:
+        """Distinct states whose feasibility was checked, in first-check order."""
+        seen = set()
+        ordered: List[State] = []
+        for event in self.events:
+            if event.kind == "feasibility" and event.state not in seen:
+                seen.add(event.state)
+                ordered.append(event.state)
+        return ordered
+
+    def narrate(self, limit: Optional[int] = 50) -> str:
+        """A human-readable walk-through (the Figure 6 style narration)."""
+        lines = [str(event) for event in self.events[: limit or len(self.events)]]
+        if limit is not None and len(self.events) > limit:
+            lines.append("... (%d more events)" % (len(self.events) - limit))
+        return "\n".join(lines)
+
+
+class TracedSpace:
+    """A :class:`SearchSpace` proxy recording every interaction.
+
+    Drop-in for any algorithm: all attributes delegate to the wrapped
+    space; the traced operations additionally log events.
+    """
+
+    def __init__(self, space: SearchSpace, trace: Optional[SearchTrace] = None) -> None:
+        self._space = space
+        self.trace = trace if trace is not None else SearchTrace()
+
+    def __getattr__(self, name: str):
+        return getattr(self._space, name)
+
+    # -- traced operations --------------------------------------------------------
+
+    def within_budget(self, state: State) -> bool:
+        verdict = self._space.within_budget(state)
+        self.trace.record("feasibility", state, (verdict,))
+        return verdict
+
+    def objective_value(self, state: State) -> float:
+        value = self._space.objective_value(state)
+        self.trace.record("objective", state, (value,))
+        return value
+
+    def horizontal(self, state: State):
+        result = self._space.horizontal(state)
+        self.trace.record("horizontal", state, (result,))
+        return result
+
+    def vertical(self, state: State):
+        result = self._space.vertical(state)
+        self.trace.record("vertical", state, tuple(result))
+        return result
+
+    def horizontal2(self, state: State):
+        result = self._space.horizontal2(state)
+        self.trace.record("horizontal2", state, (len(result),))
+        return result

@@ -1,0 +1,26 @@
+"""Synthetic datasets: the IMDb substitute the evaluation runs on, and
+the tourist-information domain of the paper's motivating scenario."""
+
+from repro.datasets.movies import (
+    GENRES,
+    MovieDatasetConfig,
+    build_movie_database,
+    movie_schema,
+)
+from repro.datasets.tourism import (
+    al_profile,
+    build_tourism_database,
+    TourismDatasetConfig,
+    tourism_schema,
+)
+
+__all__ = [
+    "al_profile",
+    "build_movie_database",
+    "build_tourism_database",
+    "GENRES",
+    "movie_schema",
+    "MovieDatasetConfig",
+    "tourism_schema",
+    "TourismDatasetConfig",
+]

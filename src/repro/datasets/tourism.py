@@ -1,0 +1,197 @@
+"""A synthetic tourist-information database.
+
+The paper's motivating scenario (Section 1) is not movies but a
+"web-based service providing tourist information": Al asks for
+restaurants in Pisa from his palmtop. This dataset makes that scenario
+executable end to end:
+
+    CITY(cid, name, country)
+    POI(pid, name, kind, cid)              -- sights, museums, parks...
+    RESTAURANT(rid, name, cid, price, rating, cuisine_id)
+    CUISINE(cuisine_id, name)
+
+Preference paths mirror the movie schema's: selections on cuisine
+names, price/rating thresholds, cities; joins RESTAURANT → CUISINE and
+RESTAURANT → CITY.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.storage.database import Database
+from repro.storage.datatypes import DataType
+from repro.storage.schema import Attribute, ForeignKey, Relation, Schema
+from repro.utils.rng import SeededRNG
+
+CITIES = [
+    ("Pisa", "Italy"), ("Florence", "Italy"), ("Rome", "Italy"),
+    ("Athens", "Greece"), ("Paris", "France"), ("Lyon", "France"),
+    ("Barcelona", "Spain"), ("Lisbon", "Portugal"), ("Vienna", "Austria"),
+    ("Prague", "Czechia"),
+]
+
+CUISINES = [
+    "tuscan", "roman", "seafood", "pizzeria", "greek", "french",
+    "tapas", "portuguese", "cafe", "vegetarian", "trattoria", "bistro",
+]
+
+POI_KINDS = ["tower", "museum", "church", "park", "piazza", "gallery"]
+
+
+@dataclass(frozen=True)
+class TourismDatasetConfig:
+    """Scale knobs for the tourist database."""
+
+    n_restaurants: int = 2500
+    n_pois: int = 600
+    price_range: tuple = (5, 120)     # euros, per person
+    rating_range: tuple = (1, 10)
+    zipf_skew: float = 0.7            # popularity skew of cities/cuisines
+
+    def __post_init__(self) -> None:
+        if self.n_restaurants <= 0 or self.n_pois <= 0:
+            raise ValueError("dataset sizes must be positive")
+
+
+def tourism_schema() -> Schema:
+    schema = Schema()
+    schema.add_relation(
+        Relation(
+            "CITY",
+            [
+                Attribute("cid", DataType.INTEGER),
+                Attribute("name", DataType.STRING, width=16),
+                Attribute("country", DataType.STRING, width=16),
+            ],
+            primary_key="cid",
+        )
+    )
+    schema.add_relation(
+        Relation(
+            "CUISINE",
+            [
+                Attribute("cuisine_id", DataType.INTEGER),
+                Attribute("name", DataType.STRING, width=16),
+            ],
+            primary_key="cuisine_id",
+        )
+    )
+    schema.add_relation(
+        Relation(
+            "POI",
+            [
+                Attribute("pid", DataType.INTEGER),
+                Attribute("name", DataType.STRING, width=24),
+                Attribute("kind", DataType.STRING, width=12),
+                Attribute("cid", DataType.INTEGER),
+            ],
+            primary_key="pid",
+        )
+    )
+    schema.add_relation(
+        Relation(
+            "RESTAURANT",
+            [
+                Attribute("rid", DataType.INTEGER),
+                Attribute("name", DataType.STRING, width=24),
+                Attribute("cid", DataType.INTEGER),
+                Attribute("price", DataType.INTEGER),
+                Attribute("rating", DataType.INTEGER),
+                Attribute("cuisine_id", DataType.INTEGER),
+            ],
+            primary_key="rid",
+        )
+    )
+    schema.add_foreign_key(ForeignKey("POI", "cid", "CITY", "cid"))
+    schema.add_foreign_key(ForeignKey("RESTAURANT", "cid", "CITY", "cid"))
+    schema.add_foreign_key(ForeignKey("RESTAURANT", "cuisine_id", "CUISINE", "cuisine_id"))
+    return schema
+
+
+def build_tourism_database(
+    config: TourismDatasetConfig = TourismDatasetConfig(), seed: int = 0
+) -> Database:
+    """Generate, load, integrity-check, and analyze the tourist database."""
+    rng = SeededRNG(seed).child("tourism")
+    database = Database(tourism_schema())
+
+    database.load(
+        "CITY", [(cid, name, country) for cid, (name, country) in enumerate(CITIES, 1)]
+    )
+    database.load(
+        "CUISINE", [(i, name) for i, name in enumerate(CUISINES, 1)]
+    )
+
+    city_ids = list(range(1, len(CITIES) + 1))
+    cuisine_ids = list(range(1, len(CUISINES) + 1))
+
+    database.load(
+        "POI",
+        [
+            (
+                pid,
+                "POI_%04d" % pid,
+                rng.choice(POI_KINDS),
+                rng.zipf_choice(city_ids, skew=config.zipf_skew),
+            )
+            for pid in range(1, config.n_pois + 1)
+        ],
+    )
+
+    price_low, price_high = config.price_range
+    rating_low, rating_high = config.rating_range
+    database.load(
+        "RESTAURANT",
+        [
+            (
+                rid,
+                "Restaurant_%05d" % rid,
+                rng.zipf_choice(city_ids, skew=config.zipf_skew),
+                rng.randint(price_low, price_high),
+                rng.randint(rating_low, rating_high),
+                rng.zipf_choice(cuisine_ids, skew=config.zipf_skew),
+            )
+            for rid in range(1, config.n_restaurants + 1)
+        ],
+    )
+
+    database.check_referential_integrity()
+    database.analyze()
+    return database
+
+
+def al_profile(seed: int = 0):
+    """The paper's Al: general likings a tourist service would store.
+
+    Join preferences wire restaurant interest to cuisines and cities;
+    selections capture tastes (Tuscan food, good ratings, modest prices)
+    in the [0, 1] doi scale of Section 3.
+    """
+    from repro.preferences.profile import UserProfile
+    from repro.sql.ast_nodes import Operator
+    from repro.preferences.model import AtomicPreference, SelectionCondition
+
+    profile = UserProfile("al")
+    profile.add_join("RESTAURANT", "cuisine_id", "CUISINE", "cuisine_id", doi=0.95)
+    profile.add_join("RESTAURANT", "cid", "CITY", "cid", doi=0.9)
+    profile.add_selection("CUISINE", "name", "tuscan", doi=0.8)
+    profile.add_selection("CUISINE", "name", "seafood", doi=0.65)
+    profile.add_selection("CUISINE", "name", "pizzeria", doi=0.5)
+    profile.add_selection("CITY", "country", "Italy", doi=0.7)
+    profile.add(
+        AtomicPreference(
+            SelectionCondition("RESTAURANT", "rating", 7, op=Operator.GE), doi=0.85
+        )
+    )
+    profile.add(
+        AtomicPreference(
+            SelectionCondition("RESTAURANT", "price", 40, op=Operator.LE), doi=0.6
+        )
+    )
+    profile.add(
+        AtomicPreference(
+            SelectionCondition("RESTAURANT", "price", 15, op=Operator.LE), doi=0.3
+        )
+    )
+    return profile

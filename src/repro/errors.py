@@ -1,0 +1,66 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All errors raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while still distinguishing subsystems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A schema definition is inconsistent (unknown relation, duplicate
+    attribute, dangling foreign key, ...)."""
+
+
+class StorageError(ReproError):
+    """A storage-layer operation failed (bad row shape, type mismatch,
+    unknown table, ...)."""
+
+
+class IntegrityError(StorageError):
+    """A constraint was violated on insert (primary key duplicate or
+    foreign key pointing at a missing row)."""
+
+
+class SQLError(ReproError):
+    """Base class for query-layer errors."""
+
+
+class ParseError(SQLError):
+    """The SQL text could not be parsed."""
+
+
+class BindError(SQLError):
+    """The query references a relation, alias, or attribute that does not
+    exist in the schema it was bound against."""
+
+
+class ExecutionError(SQLError):
+    """Query execution failed at runtime."""
+
+
+class PreferenceError(ReproError):
+    """A preference or profile is malformed (doi outside [0, 1], edge not
+    anchored in the personalization graph, cyclic implicit path, ...)."""
+
+
+class CQPError(ReproError):
+    """Base class for errors in the CQP core."""
+
+
+class ProblemSpecError(CQPError):
+    """A CQP problem statement is not one of the meaningful combinations
+    of Table 1 (e.g. maximizing doi without any constraint)."""
+
+
+class InfeasibleError(CQPError):
+    """No personalized query satisfies the problem's constraints."""
+
+
+class SearchError(CQPError):
+    """A state-space search algorithm was invoked with invalid inputs."""

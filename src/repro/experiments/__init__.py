@@ -1,0 +1,6 @@
+"""Experiment harness reproducing Section 7 (Figures 12–15)."""
+
+from repro.experiments.harness import ExperimentConfig, RunRecord, Workbench
+from repro.experiments.metrics import FigureResult
+
+__all__ = ["ExperimentConfig", "FigureResult", "RunRecord", "Workbench"]

@@ -1,0 +1,188 @@
+"""The paper's qualitative claims as executable checks.
+
+Section 7's text makes a set of qualitative assertions (who is fast, who
+blows up, where humps sit, how accurate the cost model is). This module
+turns each into a PASS/FAIL check over a :class:`Workbench`, so one
+command answers "does this reproduction hold up?":
+
+    python -m repro.experiments --check
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Callable, List
+
+from repro.experiments import figures
+from repro.experiments.harness import Workbench
+from repro.utils.tables import TextTable
+
+
+@dataclass
+class ClaimResult:
+    claim_id: str
+    description: str
+    passed: bool
+    evidence: str
+
+
+def _mean_counter(bench: Workbench, algorithm: str, k: int, fraction: float) -> float:
+    records = bench.solve_grid(algorithm, k, cmax_fraction=fraction)
+    return statistics.mean(r.states_examined for r in records)
+
+
+def check_two_speed_classes(bench: Workbench) -> ClaimResult:
+    """§7.2.1: D-MAXDOI/D-SINGLEMAXDOI/C-BOUNDARIES blow up with K;
+    C-MAXBOUNDS and D-HEURDOI stay cheap."""
+    k = bench.config.k_values[-1]
+    slow = min(
+        _mean_counter(bench, a, k, 0.5)
+        for a in ("d_maxdoi", "d_singlemaxdoi", "c_boundaries")
+    )
+    fast = max(
+        _mean_counter(bench, a, k, 0.5) for a in ("c_maxbounds", "d_heurdoi")
+    )
+    return ClaimResult(
+        claim_id="12a-classes",
+        description="greedy algorithms explore far less than the enumerators",
+        passed=fast * 5 <= slow,
+        evidence="fast max %.0f vs slow min %.0f states at K=%d" % (fast, slow, k),
+    )
+
+
+def check_growth_with_k(bench: Workbench) -> ClaimResult:
+    """§7.2.1: all algorithms' work grows with K, the slow class steeply."""
+    k_low, k_high = bench.config.k_values[0], bench.config.k_values[-1]
+    low = _mean_counter(bench, "d_maxdoi", k_low, 0.5)
+    high = _mean_counter(bench, "d_maxdoi", k_high, 0.5)
+    return ClaimResult(
+        claim_id="12a-growth",
+        description="D-MAXDOI's exploration grows super-linearly in K",
+        passed=high > 4 * max(low, 1.0),
+        evidence="states %.0f @K=%d -> %.0f @K=%d" % (low, k_low, high, k_high),
+    )
+
+
+def check_prefsel_negligible(bench: Workbench) -> ClaimResult:
+    """§7.2.1/Fig 12(b): preference selection time is negligible."""
+    result = figures.figure12b(bench)
+    worst = max(max(series) for series in result.series.values())
+    return ClaimResult(
+        claim_id="12b-negligible",
+        description="Preference Space time is negligible (sub-50ms here)",
+        passed=worst < 0.05,
+        evidence="worst mean selection time %.4fs" % worst,
+    )
+
+
+def check_cmax_hump(bench: Workbench) -> ClaimResult:
+    """§7.2.1/Fig 12(c): work peaks at mid cmax and collapses at 100%."""
+    k = bench.config.k_default
+    mid = _mean_counter(bench, "d_maxdoi", k, 0.5)
+    low = _mean_counter(bench, "d_maxdoi", k, 0.1)
+    full = _mean_counter(bench, "d_maxdoi", k, 1.0)
+    return ClaimResult(
+        claim_id="12c-hump",
+        description="exploration peaks at mid cmax, collapses at 100%",
+        passed=mid > low and mid > full,
+        evidence="states at 10/50/100%% of Supreme Cost: %.0f / %.0f / %.0f"
+        % (low, mid, full),
+    )
+
+
+def check_memory_order(bench: Workbench) -> ClaimResult:
+    """§7.2.2/Fig 13: memory mirrors time; greedy pair tiny; all small."""
+    result = figures.figure13a(bench)
+    k = bench.config.k_values[-1]
+    greedy = max(result.value("c_maxbounds", k), result.value("d_heurdoi", k))
+    heavy = max(result.value("d_maxdoi", k), result.value("c_boundaries", k))
+    overall = max(max(series) for series in result.series.values())
+    return ClaimResult(
+        claim_id="13-memory",
+        description="memory mirrors time classes and stays small overall",
+        passed=greedy * 5 <= heavy and overall < 1024,
+        evidence="greedy max %.2f KB, heavy max %.2f KB, overall %.2f KB"
+        % (greedy, heavy, overall),
+    )
+
+
+def check_heuristic_quality(bench: Workbench) -> ClaimResult:
+    """§7.2.3/Fig 14: heuristic quality gaps are minuscule."""
+    result = figures.figure14a(bench)
+    worst = max(max(series) for series in result.series.values())
+    return ClaimResult(
+        claim_id="14-quality",
+        description="heuristics are essentially optimal (gap < 1e-3)",
+        passed=0.0 <= worst < 1e-3,
+        evidence="worst mean doi gap %.2e" % worst,
+    )
+
+
+def check_exact_algorithms_agree(bench: Workbench) -> ClaimResult:
+    """Theorems 2/3: the two exact algorithms find the same optimum."""
+    k = bench.config.k_default
+    mismatches = 0
+    for profile_index, query_index in bench.run_pairs():
+        c = bench.solve_one("c_boundaries", profile_index, query_index, k,
+                            cmax_fraction=0.5)
+        d = bench.solve_one("d_maxdoi", profile_index, query_index, k,
+                            cmax_fraction=0.5)
+        if c.found != d.found or (c.found and abs(c.doi - d.doi) > 1e-9):
+            mismatches += 1
+    return ClaimResult(
+        claim_id="theorems-2-3",
+        description="C-BOUNDARIES and D-MAXDOI agree on every run",
+        passed=mismatches == 0,
+        evidence="%d mismatches over %d runs" % (mismatches, len(bench.run_pairs())),
+    )
+
+
+def check_cost_model(bench: Workbench) -> ClaimResult:
+    """§7.3/Fig 15: estimated cost very close to measured."""
+    result = figures.figure15(bench, max_pairs=4)
+    worst_error = 0.0
+    for estimated, measured in zip(
+        result.series["Estimated Query Exec.Time"],
+        result.series["Real Query Exec.Time"],
+    ):
+        if estimated > 0:
+            worst_error = max(worst_error, abs(measured - estimated) / estimated)
+    return ClaimResult(
+        claim_id="15-cost-model",
+        description="cost model within 35% of measured execution",
+        passed=worst_error < 0.35,
+        evidence="worst relative error %.1f%%" % (worst_error * 100),
+    )
+
+
+ALL_CLAIMS: List[Callable[[Workbench], ClaimResult]] = [
+    check_two_speed_classes,
+    check_growth_with_k,
+    check_prefsel_negligible,
+    check_cmax_hump,
+    check_memory_order,
+    check_heuristic_quality,
+    check_exact_algorithms_agree,
+    check_cost_model,
+]
+
+
+def run_claims(bench: Workbench) -> List[ClaimResult]:
+    return [check(bench) for check in ALL_CLAIMS]
+
+
+def render_claims(results: List[ClaimResult]) -> str:
+    table = TextTable(["claim", "verdict", "evidence", "description"])
+    for result in results:
+        table.add_row(
+            [
+                result.claim_id,
+                "PASS" if result.passed else "FAIL",
+                result.evidence,
+                result.description,
+            ]
+        )
+    passed = sum(r.passed for r in results)
+    title = "Paper claims: %d/%d hold" % (passed, len(results))
+    return table.render(title=title)

@@ -1,0 +1,86 @@
+"""Command-line entry point: regenerate any paper figure as a text table.
+
+Usage::
+
+    python -m repro.experiments --figure 12a            # quick config
+    python -m repro.experiments --figure 12c --full     # the paper's 20x10
+    python -m repro.experiments --all --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.figures import ALL_FIGURES, run_figure
+from repro.experiments.harness import ExperimentConfig, Workbench
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the paper's figures as text tables.",
+    )
+    scope = parser.add_mutually_exclusive_group(required=True)
+    scope.add_argument(
+        "--figure",
+        choices=sorted(ALL_FIGURES),
+        help="one figure/table id to regenerate",
+    )
+    scope.add_argument("--all", action="store_true", help="run every figure")
+    scope.add_argument(
+        "--check",
+        action="store_true",
+        help="verify the paper's qualitative claims (PASS/FAIL checklist)",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="use the paper's 20 profiles x 10 queries (slow); default is quick",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="session seed")
+    parser.add_argument(
+        "--output",
+        metavar="FILE.md",
+        help="additionally write the results as a Markdown report",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    config = (
+        ExperimentConfig.full(seed=args.seed)
+        if args.full
+        else ExperimentConfig.quick(seed=args.seed)
+    )
+    print(
+        "# config: %d profiles x %d queries, seed=%d"
+        % (config.n_profiles, config.n_queries, config.seed)
+    )
+    bench = Workbench(config)
+    if args.check:
+        from repro.experiments.claims import render_claims, run_claims
+
+        results = run_claims(bench)
+        print()
+        print(render_claims(results))
+        return 0 if all(r.passed for r in results) else 1
+    figure_ids = sorted(ALL_FIGURES) if args.all else [args.figure]
+    results = []
+    for figure_id in figure_ids:
+        result = run_figure(figure_id, bench)
+        results.append(result)
+        print()
+        print(result.render())
+    if args.output:
+        from repro.experiments.report import write_report
+
+        path = write_report(results, config, args.output)
+        print("\n# report written to %s" % path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

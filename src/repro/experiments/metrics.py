@@ -1,0 +1,54 @@
+"""Result containers and aggregation for the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.utils.tables import TextTable
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence (an absent series)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+@dataclass
+class FigureResult:
+    """One paper figure: x-axis values and one y-series per algorithm."""
+
+    figure_id: str
+    title: str
+    x_label: str
+    y_label: str
+    x_values: List[object] = field(default_factory=list)
+    series: Dict[str, List[float]] = field(default_factory=dict)
+
+    def add_point(self, series_name: str, value: float) -> None:
+        self.series.setdefault(series_name, []).append(value)
+
+    def value(self, series_name: str, x: object) -> float:
+        """The y-value of one series at one x (for assertions in tests)."""
+        index = self.x_values.index(x)
+        return self.series[series_name][index]
+
+    def table(self, precision: int = 4) -> TextTable:
+        names = list(self.series)
+        table = TextTable([self.x_label] + names, precision=precision)
+        for index, x in enumerate(self.x_values):
+            row: List[object] = [x]
+            for name in names:
+                column = self.series[name]
+                row.append(column[index] if index < len(column) else float("nan"))
+            table.add_row(row)
+        return table
+
+    def render(self) -> str:
+        header = "Figure %s — %s  (y: %s)" % (self.figure_id, self.title, self.y_label)
+        return self.table().render(title=header)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,68 @@
+"""Report rendering: figure results as text or a Markdown document.
+
+`python -m repro.experiments --all --output results.md` writes one
+Markdown section per figure, so a full reproduction run leaves a
+reviewable artifact (EXPERIMENTS.md was produced this way).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from repro.experiments.harness import ExperimentConfig
+from repro.experiments.metrics import FigureResult
+
+
+def figure_to_markdown(result: FigureResult, precision: int = 4) -> str:
+    """One figure as a Markdown section with a pipe table."""
+    table = result.table(precision=precision)
+    header = "| " + " | ".join(table.headers) + " |"
+    divider = "|" + "|".join("---" for _ in table.headers) + "|"
+    body = ["| " + " | ".join(row) + " |" for row in table.rows]
+    lines = [
+        "## Figure %s — %s" % (result.figure_id, result.title),
+        "",
+        "*y-axis: %s*" % result.y_label,
+        "",
+        header,
+        divider,
+        *body,
+    ]
+    return "\n".join(lines)
+
+
+def render_report(
+    results: Iterable[FigureResult],
+    config: ExperimentConfig,
+    title: str = "CQP reproduction results",
+) -> str:
+    """The full Markdown document for a set of figure results."""
+    sections: List[str] = [
+        "# %s" % title,
+        "",
+        "Configuration: %d profiles × %d queries, seed %d, K ∈ %s, "
+        "cmax default %g ms."
+        % (
+            config.n_profiles,
+            config.n_queries,
+            config.seed,
+            list(config.k_values),
+            config.cmax_default,
+        ),
+    ]
+    for result in results:
+        sections.append("")
+        sections.append(figure_to_markdown(result))
+    return "\n".join(sections) + "\n"
+
+
+def write_report(
+    results: Iterable[FigureResult],
+    config: ExperimentConfig,
+    path: Union[str, Path],
+) -> Path:
+    """Write the Markdown report; returns the path written."""
+    target = Path(path)
+    target.write_text(render_report(list(results), config))
+    return target

@@ -1,0 +1,29 @@
+"""User preference model (Section 3 of the paper, adopted from [12]).
+
+Preferences live on the *personalization graph* — an extension of the
+database schema graph with value nodes. Atomic preferences attach a
+degree of interest (doi ∈ [0, 1]) to selection edges (attribute → value)
+and join edges (attribute → attribute). Implicit preferences compose
+adjacent atomic ones along acyclic directed paths.
+"""
+
+from repro.preferences.composition import DoiAlgebra, PRODUCT_ALGEBRA
+from repro.preferences.graph import PersonalizationGraph
+from repro.preferences.model import (
+    AtomicPreference,
+    JoinCondition,
+    PreferencePath,
+    SelectionCondition,
+)
+from repro.preferences.profile import UserProfile
+
+__all__ = [
+    "AtomicPreference",
+    "DoiAlgebra",
+    "JoinCondition",
+    "PersonalizationGraph",
+    "PreferencePath",
+    "PRODUCT_ALGEBRA",
+    "SelectionCondition",
+    "UserProfile",
+]

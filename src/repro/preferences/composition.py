@@ -1,0 +1,90 @@
+"""Degree-of-interest composition functions.
+
+The paper requires two composition operators:
+
+* ``f⊗`` (Formula 1) combines the dois along a directed path into the
+  doi of an implicit preference, and must be bounded by the minimum of
+  its inputs (Formula 2) so that longer paths never gain interest.
+* ``r`` (Formula 3) combines the dois of the non-adjacent preferences in
+  a state, and must be monotone under set inclusion (Formula 4).
+
+The experiments use the paper's Section 7.1 choices — product for
+``f⊗`` (Formula 9) and ``1 − Π(1 − doi)`` for ``r`` (Formula 10) — but
+the algebra is pluggable; every CQP algorithm only relies on the two
+axioms above.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.errors import PreferenceError
+
+
+def _validate_dois(dois: Sequence[float]) -> None:
+    for doi in dois:
+        if not 0.0 <= doi <= 1.0:
+            raise PreferenceError("doi %r outside [0, 1]" % (doi,))
+
+
+def product_path_doi(dois: Sequence[float]) -> float:
+    """Formula (9): doi(p) = doi(p1) × ... × doi(pm)."""
+    _validate_dois(dois)
+    if not dois:
+        raise PreferenceError("a path needs at least one atomic preference")
+    return math.prod(dois)
+
+
+def noisy_or_conjunction_doi(dois: Sequence[float]) -> float:
+    """Formula (10): doi(Px) = 1 − Π(1 − doi(pi)); doi of the empty set is 0."""
+    _validate_dois(dois)
+    return 1.0 - math.prod(1.0 - doi for doi in dois)
+
+
+def min_path_doi(dois: Sequence[float]) -> float:
+    """Alternative ``f⊗``: the tightest function allowed by Formula (2)."""
+    _validate_dois(dois)
+    if not dois:
+        raise PreferenceError("a path needs at least one atomic preference")
+    return min(dois)
+
+
+def average_conjunction_doi(dois: Sequence[float]) -> float:
+    """Alternative ``r`` used in ablations: a *sum* capped at 1.
+
+    (A plain average would violate Formula (4); a capped sum is monotone
+    under inclusion.)
+    """
+    _validate_dois(dois)
+    return min(1.0, sum(dois))
+
+
+@dataclass(frozen=True)
+class DoiAlgebra:
+    """A pair of composition operators (``f⊗``, ``r``)."""
+
+    path: Callable[[Sequence[float]], float]
+    conjunction: Callable[[Sequence[float]], float]
+    name: str = "custom"
+
+    def path_doi(self, dois: Sequence[float]) -> float:
+        value = self.path(dois)
+        if value > min(dois) + 1e-12:
+            raise PreferenceError(
+                "f⊗ violated Formula (2): %r > min(%r)" % (value, list(dois))
+            )
+        return value
+
+    def conjunction_doi(self, dois: Sequence[float]) -> float:
+        return self.conjunction(dois)
+
+
+PRODUCT_ALGEBRA = DoiAlgebra(
+    path=product_path_doi, conjunction=noisy_or_conjunction_doi, name="product/noisy-or"
+)
+
+MIN_SUM_ALGEBRA = DoiAlgebra(
+    path=min_path_doi, conjunction=average_conjunction_doi, name="min/capped-sum"
+)

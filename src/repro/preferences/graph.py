@@ -1,0 +1,125 @@
+"""The personalization graph G(V, E) (Section 3).
+
+A directed graph extending the database schema graph with:
+
+* relation nodes — one per schema relation,
+* attribute nodes — one per attribute,
+* value nodes — one per value a profile mentions,
+* selection edges (attribute → value) and join edges (attribute →
+  attribute), each carrying a doi when the profile expresses one.
+
+The graph validates a profile against a schema and answers the
+adjacency queries the Preference Space algorithm performs while
+composing implicit preferences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.errors import PreferenceError, SchemaError
+from repro.preferences.model import (
+    AtomicPreference,
+    JoinCondition,
+    SelectionCondition,
+)
+from repro.preferences.profile import UserProfile
+from repro.storage.schema import Schema
+
+
+@dataclass(frozen=True)
+class GraphNode:
+    """A node of G: kind is 'relation', 'attribute', or 'value'."""
+
+    kind: str
+    label: str
+
+    def __str__(self) -> str:
+        return "%s:%s" % (self.kind, self.label)
+
+
+class PersonalizationGraph:
+    """The personalization graph of one (schema, profile) pair."""
+
+    def __init__(self, schema: Schema, profile: UserProfile) -> None:
+        self.schema = schema
+        self.profile = profile
+        self._validate()
+
+    # -- validation --------------------------------------------------------------
+
+    def _validate(self) -> None:
+        """Check every preference edge is anchored in the schema."""
+        for preference in self.profile:
+            condition = preference.condition
+            if isinstance(condition, SelectionCondition):
+                self._require_attribute(condition.relation, condition.attribute)
+            else:
+                assert isinstance(condition, JoinCondition)
+                self._require_attribute(condition.left_relation, condition.left_attribute)
+                self._require_attribute(condition.right_relation, condition.right_attribute)
+
+    def _require_attribute(self, relation_name: str, attribute_name: str) -> None:
+        try:
+            relation = self.schema.relation(relation_name)
+        except SchemaError as exc:
+            raise PreferenceError(
+                "profile %s references unknown relation %s"
+                % (self.profile.name, relation_name)
+            ) from exc
+        if not relation.has_attribute(attribute_name):
+            raise PreferenceError(
+                "profile %s references unknown attribute %s.%s"
+                % (self.profile.name, relation_name, attribute_name)
+            )
+
+    # -- structure ---------------------------------------------------------------
+
+    def nodes(self) -> List[GraphNode]:
+        """Materialize V: relation, attribute, and value nodes."""
+        result: List[GraphNode] = []
+        seen: Set[Tuple[str, str]] = set()
+
+        def push(kind: str, label: str) -> None:
+            key = (kind, label)
+            if key not in seen:
+                seen.add(key)
+                result.append(GraphNode(kind, label))
+
+        for name, relation in self.schema.relations.items():
+            push("relation", name)
+            for attribute in relation.attributes:
+                push("attribute", "%s.%s" % (name, attribute.name))
+        for preference in self.profile:
+            condition = preference.condition
+            if isinstance(condition, SelectionCondition):
+                push(
+                    "value",
+                    "%s.%s=%r" % (condition.relation, condition.attribute, condition.value),
+                )
+        return result
+
+    def edge_count(self) -> int:
+        """|E| restricted to edges the profile expresses interest in."""
+        return len(self.profile)
+
+    # -- adjacency (drives Figure 3's traversal) -----------------------------------
+
+    def preferences_anchored_at(self, relation: str) -> List[AtomicPreference]:
+        """Atomic preferences whose edge leaves an attribute of ``relation``."""
+        return self.profile.anchored_at(relation)
+
+    def adjacent_to_join(self, join: JoinCondition) -> List[AtomicPreference]:
+        """Atomic preferences adjacent to a join edge — those anchored at
+        the join's target relation (interest flows left ← right)."""
+        return self.profile.anchored_at(join.right_relation)
+
+    def relations_with_preferences(self) -> List[str]:
+        return self.profile.relations
+
+    def __repr__(self) -> str:
+        return "PersonalizationGraph(%d nodes, %d preference edges)" % (
+            len(self.nodes()),
+            self.edge_count(),
+        )

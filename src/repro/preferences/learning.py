@@ -1,0 +1,177 @@
+"""Learning profiles from query logs.
+
+The paper assumes profiles exist; its preference-model source [12]
+envisions them being distilled from a user's past queries. This module
+provides that missing on-ramp: scan a log of conjunctive SPJ queries,
+count how often each atomic condition occurs, and turn frequencies into
+degrees of interest.
+
+The mapping is deliberately simple and monotone: a condition appearing
+in a fraction ``f`` of the log gets
+
+    doi = floor + (cap − floor) × f
+
+so more frequent conditions are more interesting, nothing reaches the
+'must-have' doi of 1.0 without explicit curation, and rare one-off
+conditions still enter the profile at the floor (they met
+``min_support``). Join conditions become *directed* join preferences
+anchored at the FROM-clause-leading relation — interest observed on the
+joined relation flows back to the one the user was asking about.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.errors import PreferenceError
+from repro.preferences.model import JoinCondition, SelectionCondition
+from repro.preferences.profile import UserProfile
+from repro.sql.ast_nodes import ColumnRef, Literal, SelectQuery
+
+
+@dataclass(frozen=True)
+class LearningConfig:
+    """Frequency → doi mapping knobs."""
+
+    min_support: int = 1      # occurrences needed to enter the profile
+    doi_floor: float = 0.1    # doi of a condition at the support threshold
+    doi_cap: float = 0.95     # doi of a condition present in every query
+
+    def __post_init__(self) -> None:
+        if self.min_support < 1:
+            raise PreferenceError("min_support must be >= 1")
+        if not 0.0 <= self.doi_floor <= self.doi_cap <= 1.0:
+            raise PreferenceError(
+                "need 0 <= doi_floor <= doi_cap <= 1, got %r / %r"
+                % (self.doi_floor, self.doi_cap)
+            )
+
+    def doi_for_fraction(self, fraction: float) -> float:
+        fraction = min(1.0, max(0.0, fraction))
+        return self.doi_floor + (self.doi_cap - self.doi_floor) * fraction
+
+
+def _relation_of(query: SelectQuery, ref: ColumnRef) -> str:
+    if ref.qualifier is None:
+        raise PreferenceError(
+            "learning needs qualified columns; %r is ambiguous" % (ref.name,)
+        )
+    table = query.binding(ref.qualifier)
+    if table is None:
+        raise PreferenceError("unknown binding %r in logged query" % (ref.qualifier,))
+    return table.relation
+
+
+def _conditions_of(query: SelectQuery) -> Iterable[object]:
+    """Atomic preference conditions a logged query expresses."""
+    order = [t.relation for t in query.from_tables]
+    for comparison in query.where:
+        if isinstance(comparison.right, Literal):
+            relation = (
+                _relation_of(query, comparison.left)
+                if comparison.left.qualifier is not None
+                else order[0]
+                if len(order) == 1
+                else _relation_of(query, comparison.left)
+            )
+            yield SelectionCondition(
+                relation=relation,
+                attribute=comparison.left.name,
+                value=comparison.right.value,
+                op=comparison.op,
+            )
+        else:
+            left_relation = _relation_of(query, comparison.left)
+            right_relation = _relation_of(query, comparison.right)
+            if left_relation == right_relation:
+                continue  # self-join conditions carry no cross-entity interest
+            # Direct the preference from the FROM-leading relation: the
+            # earlier relation is what the user was asking about.
+            if order.index(left_relation) <= order.index(right_relation):
+                yield JoinCondition(
+                    left_relation, comparison.left.name,
+                    right_relation, comparison.right.name,
+                )
+            else:
+                yield JoinCondition(
+                    right_relation, comparison.right.name,
+                    left_relation, comparison.left.name,
+                )
+
+
+def condition_frequencies(queries: Iterable[SelectQuery]) -> Tuple[Counter, int]:
+    """(per-condition occurrence counts, number of queries scanned).
+
+    A condition counts at most once per query (a user repeating a
+    condition within one query expresses no extra interest).
+    """
+    counts: Counter = Counter()
+    total = 0
+    for query in queries:
+        total += 1
+        for condition in set(_conditions_of(query)):
+            counts[condition] += 1
+    return counts, total
+
+
+def learn_profile(
+    queries: Iterable[SelectQuery],
+    name: str = "learned",
+    config: LearningConfig = LearningConfig(),
+) -> UserProfile:
+    """Distill a profile from a query log.
+
+    >>> from repro.sql.parser import parse_select
+    >>> log = [parse_select(
+    ...     "select title from MOVIE M, GENRE G "
+    ...     "where M.mid = G.mid and G.genre = 'comedy'")] * 3
+    >>> profile = learn_profile(log)
+    >>> len(profile)
+    2
+    """
+    counts, total = condition_frequencies(queries)
+    if total == 0:
+        raise PreferenceError("cannot learn a profile from an empty query log")
+    profile = UserProfile(name)
+    for condition, count in sorted(counts.items(), key=lambda item: str(item[0])):
+        if count < config.min_support:
+            continue
+        from repro.preferences.model import AtomicPreference
+
+        profile.add(
+            AtomicPreference(
+                condition=condition, doi=config.doi_for_fraction(count / total)
+            )
+        )
+    return profile
+
+
+def merge_profiles(
+    base: UserProfile, observed: UserProfile, weight: float = 0.5, name: str = ""
+) -> UserProfile:
+    """Blend a curated profile with a learned one.
+
+    Conditions present in both get ``(1 − weight) × base + weight ×
+    observed``; conditions in only one side keep their doi. ``weight``
+    is how much the observations are trusted.
+    """
+    if not 0.0 <= weight <= 1.0:
+        raise PreferenceError("weight must be in [0, 1], got %r" % (weight,))
+    from repro.preferences.model import AtomicPreference
+
+    merged = UserProfile(name or "%s+%s" % (base.name, observed.name))
+    seen: Dict[object, float] = {}
+    for preference in base:
+        seen[preference.condition] = preference.doi
+    for preference in observed:
+        if preference.condition in seen:
+            seen[preference.condition] = (
+                (1 - weight) * seen[preference.condition] + weight * preference.doi
+            )
+        else:
+            seen[preference.condition] = preference.doi
+    for condition, doi in seen.items():
+        merged.add(AtomicPreference(condition=condition, doi=doi))
+    return merged

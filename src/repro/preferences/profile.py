@@ -1,0 +1,90 @@
+"""User profiles: named collections of atomic preferences."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.errors import PreferenceError
+from repro.preferences.model import AtomicPreference, Condition, JoinCondition, SelectionCondition
+
+
+class UserProfile:
+    """A user's atomic preferences, indexed by anchor relation.
+
+    The profile is the persistent store the paper calls ``U``; the
+    Preference Space algorithm (Figure 3) extracts from it the set ``P``
+    of selection preferences related to a given query.
+    """
+
+    def __init__(
+        self, name: str, preferences: Iterable[AtomicPreference] = ()
+    ) -> None:
+        self.name = name
+        self._by_condition: Dict[Condition, AtomicPreference] = {}
+        self._by_anchor: Dict[str, List[AtomicPreference]] = {}
+        for preference in preferences:
+            self.add(preference)
+
+    # -- mutation ----------------------------------------------------------------
+
+    def add(self, preference: AtomicPreference) -> AtomicPreference:
+        if preference.condition in self._by_condition:
+            raise PreferenceError(
+                "profile %s already has a preference on %s"
+                % (self.name, preference.condition)
+            )
+        self._by_condition[preference.condition] = preference
+        self._by_anchor.setdefault(preference.anchor_relation, []).append(preference)
+        return preference
+
+    def add_selection(
+        self, relation: str, attribute: str, value: object, doi: float
+    ) -> AtomicPreference:
+        """Convenience: register ``doi(relation.attribute = value) = doi``."""
+        condition = SelectionCondition(relation=relation, attribute=attribute, value=value)
+        return self.add(AtomicPreference(condition=condition, doi=doi))
+
+    def add_join(
+        self,
+        left_relation: str,
+        left_attribute: str,
+        right_relation: str,
+        right_attribute: str,
+        doi: float,
+    ) -> AtomicPreference:
+        """Convenience: register a directed join preference."""
+        condition = JoinCondition(
+            left_relation=left_relation,
+            left_attribute=left_attribute,
+            right_relation=right_relation,
+            right_attribute=right_attribute,
+        )
+        return self.add(AtomicPreference(condition=condition, doi=doi))
+
+    # -- access -------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._by_condition)
+
+    def __iter__(self) -> Iterator[AtomicPreference]:
+        return iter(self._by_condition.values())
+
+    def get(self, condition: Condition) -> Optional[AtomicPreference]:
+        return self._by_condition.get(condition)
+
+    def anchored_at(self, relation: str) -> List[AtomicPreference]:
+        """All atomic preferences whose condition is anchored at ``relation``."""
+        return list(self._by_anchor.get(relation, []))
+
+    def selections_on(self, relation: str) -> List[AtomicPreference]:
+        return [p for p in self.anchored_at(relation) if p.is_selection]
+
+    def joins_from(self, relation: str) -> List[AtomicPreference]:
+        return [p for p in self.anchored_at(relation) if p.is_join]
+
+    @property
+    def relations(self) -> List[str]:
+        return sorted(self._by_anchor)
+
+    def __repr__(self) -> str:
+        return "UserProfile(%s, %d preferences)" % (self.name, len(self))

@@ -1,0 +1,152 @@
+"""Result-size estimation from catalog statistics.
+
+Classical System-R style estimation: the size of a conjunctive SPJ
+query is the product of base cardinalities times the product of
+condition selectivities. The CQP estimator additionally needs the
+*reduction factor* a preference applies to the original query's result
+(Formula 8 requires every added preference to shrink — never grow — the
+estimate), so :meth:`CardinalityEstimator.reduction_factor` clamps each
+preference's combined factor to 1.0.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.errors import BindError, SQLError
+from repro.sql.ast_nodes import (
+    ColumnRef,
+    Comparison,
+    GroupByHavingCount,
+    Literal,
+    Operator,
+    QueryNode,
+    SelectQuery,
+    UnionAllQuery,
+)
+from repro.storage.database import Database
+from repro.storage.statistics import join_selectivity
+
+
+class CardinalityEstimator:
+    """Estimates result sizes for query nodes and preference paths."""
+
+    def __init__(self, database: Database) -> None:
+        if not database.analyzed:
+            database.analyze()
+        self.database = database
+
+    # -- resolution helpers --------------------------------------------------
+
+    def _relation_of(self, query: SelectQuery, ref: ColumnRef) -> str:
+        if ref.qualifier is not None:
+            table = query.binding(ref.qualifier)
+            if table is None:
+                raise BindError("unknown table or alias %r" % ref.qualifier)
+            return table.relation
+        matches = [
+            t.relation
+            for t in query.from_tables
+            if self.database.relation(t.relation).has_attribute(ref.name)
+        ]
+        if len(matches) != 1:
+            raise BindError("cannot resolve column %r uniquely" % ref.name)
+        return matches[0]
+
+    # -- condition selectivities -------------------------------------------------
+
+    def selection_selectivity(
+        self, relation: str, attribute: str, op: Operator, value: object
+    ) -> float:
+        """Fraction of ``relation`` rows satisfying ``attribute op value``."""
+        stats = self.database.statistics(relation).attribute(attribute)
+        if op is Operator.EQ:
+            return stats.equality_selectivity(value)
+        if op is Operator.NE:
+            return max(0.0, 1.0 - stats.equality_selectivity(value))
+        if not isinstance(value, (int, float)):
+            return 1.0 / 3.0  # non-numeric range comparison: fall back
+        if op in (Operator.LT, Operator.LE):
+            return stats.range_selectivity(None, float(value))
+        return stats.range_selectivity(float(value), None)
+
+    def join_selectivity(
+        self, left_relation: str, left_attr: str, right_relation: str, right_attr: str
+    ) -> float:
+        left = self.database.statistics(left_relation).attribute(left_attr)
+        right = self.database.statistics(right_relation).attribute(right_attr)
+        return join_selectivity(left, right)
+
+    def _condition_selectivity(self, query: SelectQuery, condition: Comparison) -> float:
+        left_relation = self._relation_of(query, condition.left)
+        if isinstance(condition.right, Literal):
+            return self.selection_selectivity(
+                left_relation, condition.left.name, condition.op, condition.right.value
+            )
+        right_relation = self._relation_of(query, condition.right)
+        if condition.op is not Operator.EQ:
+            return 1.0 / 3.0  # theta joins: classical default
+        return self.join_selectivity(
+            left_relation, condition.left.name, right_relation, condition.right.name
+        )
+
+    # -- query size -----------------------------------------------------------------
+
+    def estimate(self, query: QueryNode) -> float:
+        """Estimated number of result rows."""
+        if isinstance(query, SelectQuery):
+            size = 1.0
+            for table in query.from_tables:
+                size *= self.database.statistics(table.relation).row_count
+            for condition in query.where:
+                size *= self._condition_selectivity(query, condition)
+            if query.limit is not None:
+                size = min(size, float(query.limit))
+            return size
+        if isinstance(query, UnionAllQuery):
+            return sum(self.estimate(sub) for sub in query.subqueries)
+        if isinstance(query, GroupByHavingCount):
+            sizes = sorted(self.estimate(sub) for sub in query.source.subqueries)
+            if not sizes:
+                return 0.0
+            if query.at_least:
+                # Tuples appearing in >= m sub-queries: a counting bound —
+                # at most (Σ|q_i|) / m distinct tuples can reach count m.
+                return sum(sizes) / query.count_equals
+            # Intersection semantics: the smallest sub-query bounds the
+            # result.
+            return sizes[0]
+        raise SQLError("cannot estimate %r" % (query,))
+
+    # -- preference reduction factors ----------------------------------------------
+
+    def reduction_factor(
+        self,
+        base_query: SelectQuery,
+        extra_tables: Sequence[str],
+        extra_conditions: Sequence[Comparison],
+        anchored_query: Optional[SelectQuery] = None,
+    ) -> float:
+        """Multiplicative factor a preference applies to ``size(Q)``.
+
+        ``extra_tables``/``extra_conditions`` describe the sub-query that
+        integrates one preference path into ``base_query``. Each join edge
+        contributes ``|R_new| × join_sel`` (expected matches per row — 1.0
+        for key/foreign-key joins) and each selection contributes its
+        selectivity. The product is clamped to 1.0 so that preference
+        inclusion can only shrink the estimate, preserving Formula (8)'s
+        partial order exactly.
+        """
+        if anchored_query is None:
+            from repro.sql.ast_nodes import TableRef
+
+            anchored_query = base_query.with_extra(
+                tables=tuple(TableRef(name) for name in extra_tables),
+                conditions=tuple(extra_conditions),
+            )
+        factor = 1.0
+        for name in extra_tables:
+            factor *= self.database.statistics(name).row_count
+        for condition in extra_conditions:
+            factor *= self._condition_selectivity(anchored_query, condition)
+        return min(1.0, factor)

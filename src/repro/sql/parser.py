@@ -1,0 +1,268 @@
+"""A small recursive-descent parser for conjunctive SPJ queries.
+
+Grammar (case-insensitive keywords)::
+
+    query      := SELECT [DISTINCT] columns FROM tables [WHERE conjunction]
+                  [ORDER BY column [ASC|DESC] (',' ...)*] [LIMIT n]
+    columns    := '*' | column (',' column)*
+    column     := IDENT ['.' IDENT]
+    tables     := table (',' table)*
+    table      := IDENT [IDENT]                  -- optional alias
+    conjunction:= comparison (AND comparison)*
+    comparison := column OP (column | literal)
+    literal    := STRING | NUMBER
+    OP         := '=' | '<>' | '!=' | '<' | '<=' | '>' | '>='
+
+This covers every query the paper's workloads issue. Personalized
+queries (UNION ALL + GROUP BY/HAVING) are built programmatically by the
+rewriter, not parsed.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple, Optional, Union
+
+from repro.errors import ParseError
+from repro.sql.ast_nodes import (
+    ColumnRef,
+    Comparison,
+    Literal,
+    Operator,
+    OrderItem,
+    SelectQuery,
+    TableRef,
+)
+
+
+class _Token(NamedTuple):
+    kind: str  # IDENT | STRING | NUMBER | OP | PUNCT
+    text: str
+    position: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<STRING>'(?:[^']|'')*')
+  | (?P<NUMBER>\d+\.\d+|\d+)
+  | (?P<OP><=|>=|<>|!=|=|<|>)
+  | (?P<IDENT>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<PUNCT>[,.*()])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "select", "distinct", "from", "where", "and",
+    "order", "by", "asc", "desc", "limit",
+}
+
+_OPERATORS = {
+    "=": Operator.EQ,
+    "<>": Operator.NE,
+    "!=": Operator.NE,
+    "<": Operator.LT,
+    "<=": Operator.LE,
+    ">": Operator.GT,
+    ">=": Operator.GE,
+}
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError("unexpected character %r at offset %d" % (text[position], position))
+        kind = match.lastgroup or ""
+        if kind != "WS":
+            tokens.append(_Token(kind, match.group(), position))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self._text = text
+        self._tokens = _tokenize(text)
+        self._index = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    def _peek(self) -> Optional[_Token]:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _advance(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of query: %r" % self._text)
+        self._index += 1
+        return token
+
+    def _expect_keyword(self, keyword: str) -> None:
+        token = self._advance()
+        if token.kind != "IDENT" or token.text.lower() != keyword:
+            raise ParseError(
+                "expected %s at offset %d, found %r" % (keyword.upper(), token.position, token.text)
+            )
+
+    def _at_keyword(self, keyword: str) -> bool:
+        token = self._peek()
+        return token is not None and token.kind == "IDENT" and token.text.lower() == keyword
+
+    def _take_ident(self) -> str:
+        token = self._advance()
+        if token.kind != "IDENT" or token.text.lower() in _KEYWORDS:
+            raise ParseError(
+                "expected identifier at offset %d, found %r" % (token.position, token.text)
+            )
+        return token.text
+
+    # -- grammar ---------------------------------------------------------------
+
+    def parse(self) -> SelectQuery:
+        self._expect_keyword("select")
+        distinct = False
+        if self._at_keyword("distinct"):
+            self._advance()
+            distinct = True
+        select = self._parse_columns()
+        self._expect_keyword("from")
+        tables = self._parse_tables()
+        where: List[Comparison] = []
+        if self._at_keyword("where"):
+            self._advance()
+            where = self._parse_conjunction()
+        order_by = self._parse_order_by()
+        limit = self._parse_limit()
+        if self._peek() is not None:
+            token = self._peek()
+            assert token is not None
+            raise ParseError("trailing input at offset %d: %r" % (token.position, token.text))
+        return SelectQuery(
+            select=tuple(select),
+            from_tables=tuple(tables),
+            where=tuple(where),
+            distinct=distinct,
+            order_by=tuple(order_by),
+            limit=limit,
+        )
+
+    def _parse_order_by(self) -> List[OrderItem]:
+        if not self._at_keyword("order"):
+            return []
+        self._advance()
+        self._expect_keyword("by")
+        items = [self._parse_order_item()]
+        while self._peek() is not None and self._peek().text == ",":  # type: ignore[union-attr]
+            self._advance()
+            items.append(self._parse_order_item())
+        return items
+
+    def _parse_order_item(self) -> OrderItem:
+        column = self._parse_column()
+        descending = False
+        if self._at_keyword("desc"):
+            self._advance()
+            descending = True
+        elif self._at_keyword("asc"):
+            self._advance()
+        return OrderItem(column=column, descending=descending)
+
+    def _parse_limit(self) -> Optional[int]:
+        if not self._at_keyword("limit"):
+            return None
+        self._advance()
+        token = self._advance()
+        if token.kind != "NUMBER" or "." in token.text:
+            raise ParseError(
+                "LIMIT expects an integer at offset %d, found %r"
+                % (token.position, token.text)
+            )
+        return int(token.text)
+
+    def _parse_columns(self) -> List[ColumnRef]:
+        token = self._peek()
+        if token is not None and token.text == "*":
+            self._advance()
+            return []
+        columns = [self._parse_column()]
+        while self._peek() is not None and self._peek().text == ",":  # type: ignore[union-attr]
+            self._advance()
+            columns.append(self._parse_column())
+        return columns
+
+    def _parse_column(self) -> ColumnRef:
+        first = self._take_ident()
+        token = self._peek()
+        if token is not None and token.text == ".":
+            self._advance()
+            second = self._take_ident()
+            return ColumnRef(name=second, qualifier=first)
+        return ColumnRef(name=first)
+
+    def _parse_tables(self) -> List[TableRef]:
+        tables = [self._parse_table()]
+        while self._peek() is not None and self._peek().text == ",":  # type: ignore[union-attr]
+            self._advance()
+            tables.append(self._parse_table())
+        return tables
+
+    def _parse_table(self) -> TableRef:
+        relation = self._take_ident()
+        token = self._peek()
+        alias = None
+        if (
+            token is not None
+            and token.kind == "IDENT"
+            and token.text.lower() not in _KEYWORDS
+        ):
+            alias = self._take_ident()
+        return TableRef(relation=relation, alias=alias)
+
+    def _parse_conjunction(self) -> List[Comparison]:
+        conditions = [self._parse_comparison()]
+        while self._at_keyword("and"):
+            self._advance()
+            conditions.append(self._parse_comparison())
+        return conditions
+
+    def _parse_comparison(self) -> Comparison:
+        left = self._parse_column()
+        op_token = self._advance()
+        if op_token.kind != "OP":
+            raise ParseError(
+                "expected comparison operator at offset %d, found %r"
+                % (op_token.position, op_token.text)
+            )
+        operator = _OPERATORS[op_token.text]
+        right = self._parse_operand()
+        return Comparison(left=left, op=operator, right=right)
+
+    def _parse_operand(self) -> Union[ColumnRef, Literal]:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of query after operator")
+        if token.kind == "STRING":
+            self._advance()
+            return Literal(token.text[1:-1].replace("''", "'"))
+        if token.kind == "NUMBER":
+            self._advance()
+            if "." in token.text:
+                return Literal(float(token.text))
+            return Literal(int(token.text))
+        return self._parse_column()
+
+
+def parse_select(text: str) -> SelectQuery:
+    """Parse a conjunctive SPJ query from SQL text.
+
+    >>> q = parse_select("select title from MOVIE M where M.year >= 1990")
+    >>> len(q.where)
+    1
+    """
+    return _Parser(text).parse()

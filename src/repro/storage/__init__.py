@@ -1,0 +1,34 @@
+"""In-memory relational storage substrate.
+
+The paper ran on Oracle 9i; this package provides the slice of a
+relational engine that CQP actually depends on:
+
+* typed relations with schema and integrity checks,
+* block-granular storage accounting (``blocks(R)``), which is the sole
+  input to the paper's approximate cost model, and
+* a :class:`~repro.storage.iomodel.BlockDevice` that charges ``b`` ms per
+  block read, so executed queries yield a *measured* cost comparable to
+  the estimated one (Figure 15).
+"""
+
+from repro.storage.database import Database
+from repro.storage.datatypes import DataType, coerce_value
+from repro.storage.iomodel import BlockDevice, IOReceipt
+from repro.storage.schema import Attribute, ForeignKey, Relation, Schema
+from repro.storage.statistics import AttributeStatistics, TableStatistics
+from repro.storage.table import Table
+
+__all__ = [
+    "Attribute",
+    "AttributeStatistics",
+    "BlockDevice",
+    "coerce_value",
+    "Database",
+    "DataType",
+    "ForeignKey",
+    "IOReceipt",
+    "Relation",
+    "Schema",
+    "Table",
+    "TableStatistics",
+]

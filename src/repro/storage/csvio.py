@@ -1,0 +1,113 @@
+"""CSV import/export for databases.
+
+A downstream user adopting the library will want to load their own data
+rather than the synthetic generator's. The format is one
+``<RELATION>.csv`` per relation with a header row matching the schema's
+attribute order; NULLs are empty fields; types are coerced through the
+schema on load.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import List, Union
+
+from repro.errors import StorageError
+from repro.storage.database import Database
+from repro.storage.datatypes import DataType
+from repro.storage.schema import Relation, Schema
+
+PathLike = Union[str, Path]
+
+
+def _parse_field(relation: Relation, position: int, text: str) -> object:
+    if text == "":
+        return None
+    data_type = relation.attributes[position].data_type
+    try:
+        if data_type is DataType.INTEGER:
+            return int(text)
+        if data_type is DataType.FLOAT:
+            return float(text)
+        return text
+    except ValueError as exc:
+        raise StorageError(
+            "cannot parse %r as %s for %s.%s"
+            % (text, data_type.value, relation.name, relation.attributes[position].name)
+        ) from exc
+
+
+def _render_field(value: object) -> str:
+    return "" if value is None else str(value)
+
+
+def save_database(database: Database, directory: PathLike) -> List[Path]:
+    """Write every table as ``<RELATION>.csv`` under ``directory``.
+
+    Returns the files written. The directory is created if missing.
+    """
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+    for name in database.relation_names:
+        table = database.table(name)
+        path = target / ("%s.csv" % name)
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(table.relation.attribute_names)
+            for row in table:
+                writer.writerow([_render_field(value) for value in row])
+        written.append(path)
+    return written
+
+
+def load_database(
+    schema: Schema,
+    directory: PathLike,
+    check_integrity: bool = True,
+    analyze: bool = True,
+) -> Database:
+    """Build a database from ``<RELATION>.csv`` files under ``directory``.
+
+    Every schema relation must have a file; headers must match the
+    schema's attribute names in order. Referential integrity is checked
+    and statistics built by default, leaving the database ready for
+    personalization.
+    """
+    source = Path(directory)
+    database = Database(schema)
+    for name in sorted(schema.relations):
+        relation = schema.relation(name)
+        path = source / ("%s.csv" % name)
+        if not path.exists():
+            raise StorageError("missing CSV for relation %s: %s" % (name, path))
+        with open(path, newline="") as handle:
+            reader = csv.reader(handle)
+            try:
+                header = next(reader)
+            except StopIteration:
+                raise StorageError("empty CSV for relation %s" % name) from None
+            if header != relation.attribute_names:
+                raise StorageError(
+                    "header mismatch for %s: expected %s, found %s"
+                    % (name, relation.attribute_names, header)
+                )
+            for line_number, fields in enumerate(reader, start=2):
+                if len(fields) != len(relation.attributes):
+                    raise StorageError(
+                        "%s:%d: expected %d fields, found %d"
+                        % (path, line_number, len(relation.attributes), len(fields))
+                    )
+                database.insert(
+                    name,
+                    [
+                        _parse_field(relation, position, text)
+                        for position, text in enumerate(fields)
+                    ],
+                )
+    if check_integrity:
+        database.check_referential_integrity()
+    if analyze:
+        database.analyze()
+    return database

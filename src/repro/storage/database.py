@@ -1,0 +1,164 @@
+"""The database: a schema, its tables, a block device, and statistics."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import IntegrityError, SchemaError, StorageError
+from repro.storage.index import HashIndex
+from repro.storage.iomodel import BlockDevice
+from repro.storage.schema import ForeignKey, Relation, Schema
+from repro.storage.statistics import TableStatistics, analyze_table
+from repro.storage.table import DEFAULT_BLOCK_SIZE, Row, Table
+
+
+class Database:
+    """Catalog of tables over a :class:`~repro.storage.schema.Schema`.
+
+    Holds the shared :class:`~repro.storage.iomodel.BlockDevice` so every
+    query executed against this database contributes to one I/O tally.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        ms_per_block: float = 1.0,
+    ) -> None:
+        self.schema = schema
+        self.block_size = block_size
+        self.device = BlockDevice(ms_per_block=ms_per_block)
+        self.tables: Dict[str, Table] = {
+            name: Table(relation, block_size=block_size)
+            for name, relation in schema.relations.items()
+        }
+        self._statistics: Dict[str, TableStatistics] = {}
+        self._indexes: Dict[Tuple[str, str], HashIndex] = {}
+
+    # -- catalog -------------------------------------------------------------
+
+    def table(self, name: str) -> Table:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise SchemaError("unknown relation %s" % name) from None
+
+    def relation(self, name: str) -> Relation:
+        return self.schema.relation(name)
+
+    @property
+    def relation_names(self) -> List[str]:
+        return sorted(self.tables)
+
+    # -- loading -------------------------------------------------------------
+
+    def insert(self, relation_name: str, row: Sequence[object]) -> Row:
+        return self.table(relation_name).insert(row)
+
+    def load(self, relation_name: str, rows: Iterable[Sequence[object]]) -> int:
+        """Bulk insert; returns the number of rows loaded."""
+        table = self.table(relation_name)
+        count = 0
+        for row in rows:
+            table.insert(row)
+            count += 1
+        return count
+
+    def check_referential_integrity(self) -> None:
+        """Verify every foreign key value resolves to a target row.
+
+        Raises :class:`IntegrityError` naming the first violation found.
+        Run after bulk loading (per-insert FK checks would make loading
+        order-sensitive).
+        """
+        for fk in self.schema.foreign_keys:
+            source = self.table(fk.source_relation)
+            target = self.table(fk.target_relation)
+            target_relation = target.relation
+            if target_relation.primary_key == fk.target_attribute:
+                exists = target.has_pk
+            else:
+                target_values = set(target.column(fk.target_attribute))
+
+                def exists(key: object, _values: set = target_values) -> bool:
+                    return key in _values
+
+            position = source.relation.attribute_index(fk.source_attribute)
+            for row in source:
+                key = row[position]
+                if key is None:
+                    continue
+                if not exists(key):
+                    raise IntegrityError(
+                        "dangling foreign key %s: value %r has no match in %s.%s"
+                        % (fk.as_condition(), key, fk.target_relation, fk.target_attribute)
+                    )
+
+    # -- statistics ------------------------------------------------------------
+
+    def analyze(self, relation_name: Optional[str] = None) -> None:
+        """(Re)build catalog statistics for one relation, or all of them."""
+        names = [relation_name] if relation_name is not None else list(self.tables)
+        for name in names:
+            self._statistics[name] = analyze_table(self.table(name))
+
+    def statistics(self, relation_name: str) -> TableStatistics:
+        if relation_name not in self.tables:
+            raise SchemaError("unknown relation %s" % relation_name)
+        if relation_name not in self._statistics:
+            raise StorageError(
+                "no statistics for %s; call Database.analyze() after loading"
+                % relation_name
+            )
+        return self._statistics[relation_name]
+
+    @property
+    def analyzed(self) -> bool:
+        return set(self._statistics) == set(self.tables)
+
+    # -- indexes ---------------------------------------------------------------
+
+    def create_index(self, relation_name: str, attribute: str) -> HashIndex:
+        """Build (or rebuild) a hash index on ``relation.attribute``.
+
+        Indexes are the Section 7.1 ablation, not the paper's default —
+        nothing uses them unless the executor/cost model is asked to.
+        """
+        table = self.table(relation_name)
+        if not table.relation.has_attribute(attribute):
+            raise SchemaError(
+                "no attribute %s.%s to index" % (relation_name, attribute)
+            )
+        index = HashIndex(table, attribute)
+        self._indexes[(relation_name, attribute)] = index
+        return index
+
+    def index_on(self, relation_name: str, attribute: str) -> Optional[HashIndex]:
+        return self._indexes.get((relation_name, attribute))
+
+    @property
+    def indexes(self) -> List[HashIndex]:
+        return list(self._indexes.values())
+
+    # -- convenience -------------------------------------------------------------
+
+    def blocks(self, relation_name: str) -> int:
+        """``blocks(R)`` — the cost model's per-relation input."""
+        return self.table(relation_name).block_count
+
+    def foreign_key_between(
+        self, left_relation: str, right_relation: str
+    ) -> Optional[ForeignKey]:
+        """The FK joining the two relations (either direction), if any."""
+        for fk in self.schema.foreign_keys:
+            pair = (fk.source_relation, fk.target_relation)
+            if pair in ((left_relation, right_relation), (right_relation, left_relation)):
+                return fk
+        return None
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            "%s[%d rows/%d blocks]" % (name, len(table), table.block_count)
+            for name, table in sorted(self.tables.items())
+        )
+        return "Database(%s)" % parts

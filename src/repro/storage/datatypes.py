@@ -1,0 +1,76 @@
+"""The storage layer's small type system.
+
+Three scalar types cover the paper's movie schema and anything the
+workload generators produce. Each type knows how to validate/coerce a
+Python value and how many bytes a stored value occupies — byte widths
+feed the block-count accounting in :mod:`repro.storage.table`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.errors import StorageError
+
+
+class DataType(enum.Enum):
+    """Scalar column types."""
+
+    INTEGER = "integer"
+    FLOAT = "float"
+    STRING = "string"
+
+    @property
+    def python_type(self) -> type:
+        return _PYTHON_TYPES[self]
+
+
+_PYTHON_TYPES = {
+    DataType.INTEGER: int,
+    DataType.FLOAT: float,
+    DataType.STRING: str,
+}
+
+# Fixed storage widths (bytes). Strings are stored CHAR-style at a fixed
+# declared width, which keeps rows-per-block a per-relation constant —
+# exactly the granularity the paper's cost model needs.
+_FIXED_WIDTHS = {
+    DataType.INTEGER: 8,
+    DataType.FLOAT: 8,
+}
+DEFAULT_STRING_WIDTH = 32
+
+
+def value_width(data_type: DataType, declared_width: Optional[int] = None) -> int:
+    """Bytes occupied by one stored value of ``data_type``."""
+    if data_type is DataType.STRING:
+        width = DEFAULT_STRING_WIDTH if declared_width is None else declared_width
+        if width <= 0:
+            raise StorageError("string width must be positive, got %r" % width)
+        return width
+    return _FIXED_WIDTHS[data_type]
+
+
+def coerce_value(data_type: DataType, value: object) -> object:
+    """Validate ``value`` against ``data_type``, applying safe coercions.
+
+    Integers are accepted for FLOAT columns (widening); everything else
+    must already have the right Python type. ``None`` is passed through —
+    nullability is the schema's concern, not the type's.
+    """
+    if value is None:
+        return None
+    if data_type is DataType.INTEGER:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise StorageError("expected integer, got %r" % (value,))
+        return value
+    if data_type is DataType.FLOAT:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise StorageError("expected float, got %r" % (value,))
+        return float(value)
+    if data_type is DataType.STRING:
+        if not isinstance(value, str):
+            raise StorageError("expected string, got %r" % (value,))
+        return value
+    raise StorageError("unknown data type %r" % (data_type,))

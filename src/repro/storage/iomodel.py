@@ -1,0 +1,89 @@
+"""The simulated I/O device.
+
+The paper measures personalized-query execution cost as block reads at a
+constant ``b`` milliseconds per block (Section 7.1, ``b = 1 ms``). The
+:class:`BlockDevice` is the single place where block reads are counted,
+so the executor's *measured* cost and the estimator's *predicted* cost
+can be compared apples-to-apples (Figure 15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.storage.table import Row, Table
+
+DEFAULT_MS_PER_BLOCK = 1.0  # the paper's b
+
+
+@dataclass
+class IOReceipt:
+    """Tally of I/O performed within one :meth:`BlockDevice.meter` window."""
+
+    blocks_read: int = 0
+    ms_per_block: float = DEFAULT_MS_PER_BLOCK
+
+    @property
+    def elapsed_ms(self) -> float:
+        """Simulated elapsed time: blocks × b."""
+        return self.blocks_read * self.ms_per_block
+
+
+class BlockDevice:
+    """Counts block reads; charges ``ms_per_block`` per block.
+
+    Following the paper's simplifying assumptions there is no buffer pool:
+    every scan re-reads its blocks from "disk". (Assumption (b) of
+    Section 7.1 — enough memory for a single query — concerns intra-query
+    working state, not cross-scan caching.)
+    """
+
+    def __init__(self, ms_per_block: float = DEFAULT_MS_PER_BLOCK) -> None:
+        if ms_per_block <= 0:
+            raise ValueError("ms_per_block must be positive, got %r" % ms_per_block)
+        self.ms_per_block = ms_per_block
+        self.total_blocks_read = 0
+        self._receipts: List[IOReceipt] = []
+
+    def scan(self, table: Table) -> Iterator[Row]:
+        """Full scan of ``table``, charging one read per block."""
+        for block in table.scan_blocks():
+            self._charge(1)
+            for row in block:
+                yield row
+
+    def charge(self, blocks: int) -> None:
+        """Charge block reads performed outside :meth:`scan` (e.g. an
+        index probe reading the bucket plus matching data blocks)."""
+        if blocks < 0:
+            raise ValueError("cannot charge %d blocks" % blocks)
+        self._charge(blocks)
+
+    def _charge(self, blocks: int) -> None:
+        self.total_blocks_read += blocks
+        for receipt in self._receipts:
+            receipt.blocks_read += blocks
+
+    # -- metering ------------------------------------------------------------
+
+    def meter(self) -> "_MeterContext":
+        """Context manager that captures the blocks read inside its scope."""
+        return _MeterContext(self)
+
+    @property
+    def total_elapsed_ms(self) -> float:
+        return self.total_blocks_read * self.ms_per_block
+
+
+class _MeterContext:
+    def __init__(self, device: BlockDevice) -> None:
+        self._device = device
+        self.receipt = IOReceipt(ms_per_block=device.ms_per_block)
+
+    def __enter__(self) -> IOReceipt:
+        self._device._receipts.append(self.receipt)
+        return self.receipt
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._device._receipts.remove(self.receipt)

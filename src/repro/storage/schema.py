@@ -1,0 +1,169 @@
+"""Schema objects: attributes, relations, foreign keys, and the schema graph.
+
+The schema doubles as the skeleton of the personalization graph
+(Section 3 of the paper): relation nodes, attribute nodes, and join edges
+come straight from :class:`Relation` and :class:`ForeignKey` definitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import SchemaError
+from repro.storage.datatypes import DataType, value_width
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A typed column of a relation."""
+
+    name: str
+    data_type: DataType
+    width: Optional[int] = None  # declared byte width; only meaningful for strings
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise SchemaError("invalid attribute name %r" % (self.name,))
+
+    @property
+    def byte_width(self) -> int:
+        return value_width(self.data_type, self.width)
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A join edge: ``source_relation.source_attribute`` references
+    ``target_relation.target_attribute``."""
+
+    source_relation: str
+    source_attribute: str
+    target_relation: str
+    target_attribute: str
+
+    def as_condition(self) -> str:
+        return "%s.%s = %s.%s" % (
+            self.source_relation,
+            self.source_attribute,
+            self.target_relation,
+            self.target_attribute,
+        )
+
+
+class Relation:
+    """A named relation with ordered attributes and an optional primary key."""
+
+    def __init__(
+        self,
+        name: str,
+        attributes: Iterable[Attribute],
+        primary_key: Optional[str] = None,
+    ) -> None:
+        if not name or not name.isidentifier():
+            raise SchemaError("invalid relation name %r" % (name,))
+        self.name = name
+        self.attributes: Tuple[Attribute, ...] = tuple(attributes)
+        if not self.attributes:
+            raise SchemaError("relation %s has no attributes" % name)
+        self._by_name: Dict[str, Attribute] = {}
+        for attribute in self.attributes:
+            if attribute.name in self._by_name:
+                raise SchemaError(
+                    "duplicate attribute %s in relation %s" % (attribute.name, name)
+                )
+            self._by_name[attribute.name] = attribute
+        if primary_key is not None and primary_key not in self._by_name:
+            raise SchemaError(
+                "primary key %s is not an attribute of %s" % (primary_key, name)
+            )
+        self.primary_key = primary_key
+
+    # -- attribute access --------------------------------------------------
+
+    def attribute(self, name: str) -> Attribute:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError("relation %s has no attribute %s" % (self.name, name)) from None
+
+    def has_attribute(self, name: str) -> bool:
+        return name in self._by_name
+
+    def attribute_index(self, name: str) -> int:
+        for i, attribute in enumerate(self.attributes):
+            if attribute.name == name:
+                return i
+        raise SchemaError("relation %s has no attribute %s" % (self.name, name))
+
+    @property
+    def attribute_names(self) -> List[str]:
+        return [a.name for a in self.attributes]
+
+    @property
+    def row_width(self) -> int:
+        """Bytes per stored row (fixed-width row format)."""
+        return sum(a.byte_width for a in self.attributes)
+
+    def __repr__(self) -> str:
+        return "Relation(%s: %s)" % (self.name, ", ".join(self.attribute_names))
+
+
+@dataclass
+class Schema:
+    """A database schema: relations plus foreign-key join edges."""
+
+    relations: Dict[str, Relation] = field(default_factory=dict)
+    foreign_keys: List[ForeignKey] = field(default_factory=list)
+
+    def add_relation(self, relation: Relation) -> Relation:
+        if relation.name in self.relations:
+            raise SchemaError("relation %s already defined" % relation.name)
+        self.relations[relation.name] = relation
+        return relation
+
+    def add_foreign_key(self, fk: ForeignKey) -> ForeignKey:
+        for rel_name, attr_name in (
+            (fk.source_relation, fk.source_attribute),
+            (fk.target_relation, fk.target_attribute),
+        ):
+            relation = self.relation(rel_name)
+            if not relation.has_attribute(attr_name):
+                raise SchemaError(
+                    "foreign key references missing attribute %s.%s" % (rel_name, attr_name)
+                )
+        self.foreign_keys.append(fk)
+        return fk
+
+    def relation(self, name: str) -> Relation:
+        try:
+            return self.relations[name]
+        except KeyError:
+            raise SchemaError("unknown relation %s" % name) from None
+
+    def has_relation(self, name: str) -> bool:
+        return name in self.relations
+
+    def join_edges_from(self, relation_name: str) -> List[ForeignKey]:
+        """Foreign keys whose source side is ``relation_name``."""
+        return [fk for fk in self.foreign_keys if fk.source_relation == relation_name]
+
+    def join_edges_touching(self, relation_name: str) -> List[ForeignKey]:
+        """Foreign keys with ``relation_name`` on either side."""
+        return [
+            fk
+            for fk in self.foreign_keys
+            if relation_name in (fk.source_relation, fk.target_relation)
+        ]
+
+    def joined_relations(self, relation_name: str) -> List[str]:
+        """Names of relations one join edge away from ``relation_name``."""
+        neighbors = []
+        for fk in self.join_edges_touching(relation_name):
+            other = (
+                fk.target_relation
+                if fk.source_relation == relation_name
+                else fk.source_relation
+            )
+            if other not in neighbors:
+                neighbors.append(other)
+        return neighbors

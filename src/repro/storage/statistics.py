@@ -1,0 +1,186 @@
+"""Catalog statistics used for selectivity and result-size estimation.
+
+The CQP parameter estimator needs ``size(Q ∧ p)`` for every candidate
+preference — the paper gets these from catalog-style statistics rather
+than by executing queries. We keep, per attribute: cardinality, distinct
+count, per-value frequencies for low-cardinality attributes, and an
+equi-width histogram for numeric ones.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import StorageError
+from repro.storage.datatypes import DataType
+from repro.storage.table import Table
+
+# Attributes with at most this many distinct values get exact per-value
+# frequencies; beyond it we fall back to the uniform-distinct assumption
+# plus (for numerics) the histogram.
+FREQUENCY_LIMIT = 512
+HISTOGRAM_BUCKETS = 32
+
+
+@dataclass
+class Histogram:
+    """Equi-width histogram over a numeric attribute."""
+
+    low: float
+    high: float
+    counts: List[int]
+
+    @property
+    def bucket_width(self) -> float:
+        return (self.high - self.low) / len(self.counts)
+
+    def estimate_range(self, low: float, high: float) -> float:
+        """Estimated number of rows with value in [low, high]."""
+        if high < low or not self.counts:
+            return 0.0
+        if self.high == self.low:
+            # Degenerate single-value column.
+            total = float(sum(self.counts))
+            return total if low <= self.low <= high else 0.0
+        width = self.bucket_width
+        estimate = 0.0
+        for i, count in enumerate(self.counts):
+            b_low = self.low + i * width
+            b_high = b_low + width
+            overlap = min(high, b_high) - max(low, b_low)
+            if overlap <= 0:
+                continue
+            estimate += count * min(1.0, overlap / width)
+        return estimate
+
+
+@dataclass
+class AttributeStatistics:
+    """Statistics for one attribute of one relation."""
+
+    attribute: str
+    row_count: int
+    distinct_count: int
+    null_count: int
+    frequencies: Optional[Dict[object, int]] = None
+    histogram: Optional[Histogram] = None
+    min_value: Optional[object] = None
+    max_value: Optional[object] = None
+
+    def equality_selectivity(self, value: object) -> float:
+        """Fraction of rows satisfying ``attr = value``."""
+        if self.row_count == 0:
+            return 0.0
+        if self.frequencies is not None:
+            return self.frequencies.get(value, 0) / self.row_count
+        if self.distinct_count == 0:
+            return 0.0
+        return 1.0 / self.distinct_count
+
+    def range_selectivity(self, low: Optional[float], high: Optional[float]) -> float:
+        """Fraction of rows with value in [low, high] (None = unbounded)."""
+        if self.row_count == 0:
+            return 0.0
+        if self.histogram is not None:
+            lo = self.histogram.low if low is None else low
+            hi = self.histogram.high if high is None else high
+            return min(1.0, self.histogram.estimate_range(lo, hi) / self.row_count)
+        if self.frequencies is not None:
+            matched = sum(
+                count
+                for value, count in self.frequencies.items()
+                if value is not None
+                and (low is None or value >= low)  # type: ignore[operator]
+                and (high is None or value <= high)  # type: ignore[operator]
+            )
+            return matched / self.row_count
+        return 1.0 / 3.0  # the classical System R default
+
+
+@dataclass
+class TableStatistics:
+    """Statistics for one relation: row/block counts plus per-attribute stats."""
+
+    relation: str
+    row_count: int
+    block_count: int
+    attributes: Dict[str, AttributeStatistics] = field(default_factory=dict)
+
+    def attribute(self, name: str) -> AttributeStatistics:
+        try:
+            return self.attributes[name]
+        except KeyError:
+            raise StorageError(
+                "no statistics for attribute %s.%s" % (self.relation, name)
+            ) from None
+
+
+def _build_histogram(values: List[float]) -> Optional[Histogram]:
+    if not values:
+        return None
+    low, high = float(min(values)), float(max(values))
+    if high == low:
+        return Histogram(low=low, high=high, counts=[len(values)])
+    counts = [0] * HISTOGRAM_BUCKETS
+    width = (high - low) / HISTOGRAM_BUCKETS
+    for value in values:
+        bucket = min(int((value - low) / width), HISTOGRAM_BUCKETS - 1)
+        counts[bucket] += 1
+    return Histogram(low=low, high=high, counts=counts)
+
+
+def analyze_table(table: Table) -> TableStatistics:
+    """Compute full statistics for ``table`` (the ANALYZE pass)."""
+    relation = table.relation
+    stats = TableStatistics(
+        relation=relation.name,
+        row_count=len(table),
+        block_count=table.block_count,
+    )
+    for attribute in relation.attributes:
+        values = table.column(attribute.name)
+        non_null = [v for v in values if v is not None]
+        counter = Counter(non_null)
+        attr_stats = AttributeStatistics(
+            attribute=attribute.name,
+            row_count=len(values),
+            distinct_count=len(counter),
+            null_count=len(values) - len(non_null),
+        )
+        if non_null:
+            try:
+                attr_stats.min_value = min(non_null)
+                attr_stats.max_value = max(non_null)
+            except TypeError:
+                pass  # mixed/unorderable values: leave bounds unset
+        if len(counter) <= FREQUENCY_LIMIT:
+            attr_stats.frequencies = dict(counter)
+        if attribute.data_type in (DataType.INTEGER, DataType.FLOAT):
+            attr_stats.histogram = _build_histogram([float(v) for v in non_null])
+        stats.attributes[attribute.name] = attr_stats
+    return stats
+
+
+def join_selectivity(
+    left: AttributeStatistics, right: AttributeStatistics
+) -> float:
+    """Equi-join selectivity: 1 / max(distinct(left), distinct(right)).
+
+    Zero when either side has no non-null values — nothing can match.
+    """
+    if left.distinct_count == 0 or right.distinct_count == 0:
+        return 0.0
+    return 1.0 / max(left.distinct_count, right.distinct_count)
+
+
+def estimate_join_size(
+    left: TableStatistics,
+    left_attr: str,
+    right: TableStatistics,
+    right_attr: str,
+) -> Tuple[float, float]:
+    """(estimated rows, selectivity) of ``left ⋈ right`` on the given attrs."""
+    selectivity = join_selectivity(left.attribute(left_attr), right.attribute(right_attr))
+    return left.row_count * right.row_count * selectivity, selectivity

@@ -1,0 +1,7 @@
+"""Small shared utilities: seeded randomness, timing, and text tables."""
+
+from repro.utils.rng import SeededRNG, derive_seed, zipf_weights
+from repro.utils.tables import TextTable
+from repro.utils.timing import Stopwatch
+
+__all__ = ["SeededRNG", "derive_seed", "zipf_weights", "TextTable", "Stopwatch"]

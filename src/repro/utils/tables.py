@@ -1,0 +1,61 @@
+"""Plain-text table rendering for experiment reports.
+
+The experiment harness prints paper-style tables (one row per x-axis
+value, one column per algorithm/series). Formatting lives here so every
+figure runner renders identically.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def _format_cell(value: object, precision: int) -> str:
+    if isinstance(value, float):
+        if value != 0 and abs(value) < 10 ** (-precision):
+            return "%.*e" % (precision, value)
+        return "%.*f" % (precision, value)
+    return str(value)
+
+
+class TextTable:
+    """Monospace table with a header row and aligned columns."""
+
+    def __init__(self, headers: Sequence[str], precision: int = 3) -> None:
+        if not headers:
+            raise ValueError("a table needs at least one column")
+        self.headers = [str(h) for h in headers]
+        self.precision = precision
+        self._rows: List[List[str]] = []
+
+    def add_row(self, values: Iterable[object]) -> None:
+        row = [_format_cell(v, self.precision) for v in values]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                "row has %d cells, table has %d columns" % (len(row), len(self.headers))
+            )
+        self._rows.append(row)
+
+    @property
+    def rows(self) -> List[List[str]]:
+        return [list(row) for row in self._rows]
+
+    def render(self, title: str = "") -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self._rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt(cells: Sequence[str]) -> str:
+            return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+        lines: List[str] = []
+        if title:
+            lines.append(title)
+        lines.append(fmt(self.headers))
+        lines.append("  ".join("-" * w for w in widths))
+        lines.extend(fmt(row) for row in self._rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

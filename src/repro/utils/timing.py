@@ -1,0 +1,44 @@
+"""Wall-clock measurement helper used by the experiment harness."""
+
+from __future__ import annotations
+
+import time
+
+
+class Stopwatch:
+    """Accumulating stopwatch with context-manager ergonomics.
+
+    >>> watch = Stopwatch()
+    >>> with watch:
+    ...     _ = sum(range(10))
+    >>> watch.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._started_at: float = -1.0
+
+    def start(self) -> None:
+        if self._started_at >= 0.0:
+            raise RuntimeError("stopwatch already running")
+        self._started_at = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._started_at < 0.0:
+            raise RuntimeError("stopwatch not running")
+        span = time.perf_counter() - self._started_at
+        self.elapsed += span
+        self._started_at = -1.0
+        return span
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._started_at = -1.0
+
+    def __enter__(self) -> "Stopwatch":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -1,0 +1,10 @@
+"""Workload generators reproducing the paper's evaluation setting.
+
+Each experiment averages 200 runs — 20 profiles × 10 queries — with
+broad doi ranges and deviations (the setting of [12] the paper adopts).
+"""
+
+from repro.workloads.profiles import ProfileConfig, generate_profile, generate_profiles
+from repro.workloads.queries import generate_queries
+
+__all__ = ["generate_profile", "generate_profiles", "generate_queries", "ProfileConfig"]

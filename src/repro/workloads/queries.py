@@ -1,0 +1,45 @@
+"""Synthetic query workload: the 10 queries each experiment crosses with
+20 profiles.
+
+All templates are conjunctive SPJ queries anchored at MOVIE — the
+relation the profiles' preference paths attach to — with literal
+parameters drawn per query so that base costs and sizes vary.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.sql.ast_nodes import SelectQuery
+from repro.sql.parser import parse_select
+from repro.utils.rng import SeededRNG
+
+
+def _templates(rng: SeededRNG) -> List[str]:
+    year_a = rng.randint(1960, 1995)
+    year_b = rng.randint(1940, 1980)
+    duration_a = rng.randint(90, 180)
+    duration_b = rng.randint(100, 200)
+    return [
+        "select title from MOVIE",
+        "select title from MOVIE where year >= %d" % year_a,
+        "select title from MOVIE where year <= %d" % year_b,
+        "select title from MOVIE where duration <= %d" % duration_a,
+        "select title from MOVIE where duration >= %d" % duration_b,
+        "select title from MOVIE where year >= %d and duration <= %d" % (year_b, duration_b),
+    ]
+
+
+def generate_queries(count: int = 10, seed: int = 0) -> List[SelectQuery]:
+    """``count`` parsed queries cycling over the templates with fresh
+    literals each cycle (seeded)."""
+    queries: List[SelectQuery] = []
+    cycle = 0
+    while len(queries) < count:
+        rng = SeededRNG(seed).child("queries", cycle)
+        for text in _templates(rng):
+            if len(queries) >= count:
+                break
+            queries.append(parse_select(text))
+        cycle += 1
+    return queries

@@ -1,0 +1,37 @@
+"""Shared fixtures: a small seeded movie database and workload objects.
+
+The database is session-scoped (building + ANALYZE takes ~0.2 s); tests
+must not mutate it. Tests that need a mutable database build their own.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.movies import MovieDatasetConfig, build_movie_database
+from repro.sql.parser import parse_select
+from repro.workloads.profiles import generate_profile
+
+SMALL_DATASET = MovieDatasetConfig(
+    n_movies=800,
+    n_directors=120,
+    n_actors=300,
+    cast_per_movie=3,
+)
+
+
+@pytest.fixture(scope="session")
+def movie_db():
+    """A small, fully analyzed movie database (read-only)."""
+    return build_movie_database(SMALL_DATASET, seed=1234)
+
+
+@pytest.fixture(scope="session")
+def movie_profile(movie_db):
+    """A profile with join and selection preferences over movie_db."""
+    return generate_profile(movie_db, seed=99)
+
+
+@pytest.fixture()
+def movie_query():
+    return parse_select("select title from MOVIE")

@@ -1,0 +1,96 @@
+"""Tests for the exhaustive oracle and the metaheuristic baselines."""
+
+import pytest
+
+from repro.core.algorithms import (
+    Exhaustive,
+    GeneticSearch,
+    SimulatedAnnealing,
+    TabuSearch,
+)
+from repro.core.algorithms.base import (
+    ALGORITHM_REGISTRY,
+    get_algorithm,
+    paper_algorithms,
+)
+from repro.errors import SearchError
+from repro.workloads.scenarios import (
+    FIGURE6_CMAX,
+    figure6_cost_space,
+    make_cost_space,
+    make_synthetic_evaluator,
+)
+
+
+class TestExhaustive:
+    def test_figure6_optimum(self):
+        solution = Exhaustive().solve(figure6_cost_space())
+        assert solution.pref_indices == (1, 2, 3)
+
+    def test_k_guard(self):
+        evaluator = make_synthetic_evaluator([0.5] * 25, [1.0] * 25)
+        with pytest.raises(SearchError):
+            Exhaustive().solve(make_cost_space(evaluator, cmax=100))
+
+    def test_guard_configurable(self):
+        evaluator = make_synthetic_evaluator([0.5] * 5, [1.0] * 5)
+        with pytest.raises(SearchError):
+            Exhaustive(k_guard=4).solve(make_cost_space(evaluator, cmax=100))
+
+    def test_infeasible(self):
+        evaluator = make_synthetic_evaluator([0.5], [10.0])
+        assert Exhaustive().solve(make_cost_space(evaluator, cmax=1.0)) is None
+
+
+class TestMetaheuristics:
+    @pytest.mark.parametrize(
+        "algorithm",
+        [SimulatedAnnealing(seed=1), TabuSearch(seed=1), GeneticSearch(seed=1)],
+        ids=["sa", "tabu", "ga"],
+    )
+    def test_feasible_solutions_only(self, algorithm):
+        space = figure6_cost_space()
+        solution = algorithm.solve(space)
+        assert solution is not None
+        assert solution.cost <= FIGURE6_CMAX + 1e-6
+
+    @pytest.mark.parametrize(
+        "algorithm",
+        [SimulatedAnnealing(seed=1), TabuSearch(seed=1), GeneticSearch(seed=1)],
+        ids=["sa", "tabu", "ga"],
+    )
+    def test_deterministic_given_seed(self, algorithm):
+        first = algorithm.solve(figure6_cost_space())
+        second = type(algorithm)(seed=1).solve(figure6_cost_space())
+        assert first.pref_indices == second.pref_indices
+
+    def test_tabu_near_optimal_on_figure6(self):
+        # No optimality guarantee (the paper's point about generic
+        # methods) — but on a 5-preference space it should land close.
+        solution = TabuSearch(seed=1).solve(figure6_cost_space())
+        optimum = 1 - 0.2 * 0.3 * 0.4
+        assert solution.doi >= 0.9 * optimum
+
+    def test_empty_space(self):
+        space = make_cost_space(make_synthetic_evaluator([], []), cmax=10)
+        for algorithm in (SimulatedAnnealing(), TabuSearch(), GeneticSearch()):
+            assert algorithm.solve(space) is None
+
+
+class TestRegistry:
+    def test_paper_algorithms_registered(self):
+        for name in paper_algorithms():
+            assert name in ALGORITHM_REGISTRY
+            assert get_algorithm(name).name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(SearchError):
+            get_algorithm("nope")
+
+    def test_exactness_flags(self):
+        assert get_algorithm("c_boundaries").exact
+        assert get_algorithm("d_maxdoi").exact
+        assert get_algorithm("exhaustive").exact
+        assert not get_algorithm("c_maxbounds").exact
+        assert not get_algorithm("d_singlemaxdoi").exact
+        assert not get_algorithm("d_heurdoi").exact

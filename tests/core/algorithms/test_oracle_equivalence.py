@@ -1,0 +1,114 @@
+"""Property-based oracle equivalence (the heart of the correctness story).
+
+Theorems 2 and 3 claim C-BOUNDARIES and D-MAXDOI are exact. Hypothesis
+generates random Problem 2 instances and compares every algorithm
+against the exhaustive oracle:
+
+* exact algorithms must match the oracle's optimum exactly (and agree on
+  infeasibility);
+* heuristics must return feasible solutions never better than the
+  optimum (and match it on the paper's Figure 6/8 instances).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.algorithms import (
+    CBoundaries,
+    CMaxBounds,
+    DHeurDoi,
+    DMaxDoi,
+    DSingleMaxDoi,
+    Exhaustive,
+)
+from repro.workloads.scenarios import (
+    make_cost_space,
+    make_doi_space,
+    make_synthetic_evaluator,
+)
+
+instances = st.integers(min_value=1, max_value=8).flatmap(
+    lambda k: st.tuples(
+        st.lists(
+            st.floats(min_value=0.01, max_value=1.0), min_size=k, max_size=k
+        ),
+        st.lists(
+            st.floats(min_value=0.5, max_value=100.0), min_size=k, max_size=k
+        ),
+        st.floats(min_value=0.0, max_value=1.0),  # cmax as fraction of supreme
+    )
+)
+
+
+def build(data):
+    dois, costs, fraction = data
+    evaluator = make_synthetic_evaluator(dois, costs)
+    cmax = fraction * sum(costs)
+    return evaluator, cmax
+
+
+@settings(max_examples=120, deadline=None)
+@given(instances)
+def test_c_boundaries_is_exact(data):
+    evaluator, cmax = build(data)
+    reference = Exhaustive().solve(make_cost_space(evaluator, cmax))
+    solution = CBoundaries().solve(make_cost_space(evaluator, cmax))
+    if reference is None:
+        assert solution is None
+    else:
+        assert solution is not None
+        assert solution.doi == pytest.approx(reference.doi, abs=1e-9)
+        assert solution.cost <= cmax + 1e-6
+
+
+@settings(max_examples=120, deadline=None)
+@given(instances)
+def test_d_maxdoi_is_exact(data):
+    evaluator, cmax = build(data)
+    reference = Exhaustive().solve(make_cost_space(evaluator, cmax))
+    solution = DMaxDoi().solve(make_doi_space(evaluator, cmax))
+    if reference is None:
+        assert solution is None
+    else:
+        assert solution is not None
+        assert solution.doi == pytest.approx(reference.doi, abs=1e-9)
+        assert solution.cost <= cmax + 1e-6
+
+
+@settings(max_examples=100, deadline=None)
+@given(instances)
+def test_heuristics_feasible_and_bounded(data):
+    evaluator, cmax = build(data)
+    reference = Exhaustive().solve(make_cost_space(evaluator, cmax))
+    for algorithm, space in (
+        (CMaxBounds(), make_cost_space(evaluator, cmax)),
+        (DSingleMaxDoi(), make_doi_space(evaluator, cmax)),
+        (DHeurDoi(), make_doi_space(evaluator, cmax)),
+    ):
+        solution = algorithm.solve(space)
+        if solution is not None:
+            assert solution.cost <= cmax + 1e-6
+            if reference is not None:
+                assert solution.doi <= reference.doi + 1e-9
+        if reference is not None and solution is None:
+            # A heuristic may miss the optimum but must not claim
+            # infeasibility when a singleton solution exists: every
+            # algorithm seeds from singletons.
+            singleton_feasible = any(
+                evaluator.cost_values[i] <= cmax for i in range(len(evaluator))
+            )
+            assert not singleton_feasible
+
+
+@settings(max_examples=60, deadline=None)
+@given(instances)
+def test_exact_algorithms_agree_with_each_other(data):
+    evaluator, cmax = build(data)
+    c_solution = CBoundaries().solve(make_cost_space(evaluator, cmax))
+    d_solution = DMaxDoi().solve(make_doi_space(evaluator, cmax))
+    if c_solution is None:
+        assert d_solution is None
+    else:
+        assert d_solution is not None
+        assert c_solution.doi == pytest.approx(d_solution.doi, abs=1e-9)

@@ -1,0 +1,71 @@
+"""Randomized invariants of preference-space extraction.
+
+For many random (profile, query) pairs, the output of Figure 3 must
+satisfy the structural guarantees every downstream algorithm relies on.
+"""
+
+import pytest
+
+from repro.core.preference_space import extract_preference_space
+from repro.workloads.profiles import ProfileConfig, generate_profile
+from repro.workloads.queries import generate_queries
+
+SEEDS = [11, 22, 33, 44]
+
+
+@pytest.fixture(scope="module", params=SEEDS)
+def random_space(request, movie_db):
+    profile = generate_profile(
+        movie_db,
+        seed=request.param,
+        config=ProfileConfig(
+            n_genre_prefs=6, n_director_prefs=6, n_actor_prefs=6, n_movie_prefs=6
+        ),
+    )
+    query = generate_queries(4, seed=request.param)[request.param % 4]
+    return extract_preference_space(movie_db, query, profile)
+
+
+class TestExtractionInvariants:
+    def test_p_sorted_by_doi(self, random_space):
+        assert random_space.doi_values == sorted(random_space.doi_values, reverse=True)
+
+    def test_vectors_are_permutations(self, random_space):
+        expected = list(range(random_space.k))
+        assert sorted(random_space.vector_c) == expected
+        assert sorted(random_space.vector_s) == expected
+        assert random_space.vector_d == expected
+
+    def test_vector_orderings(self, random_space):
+        costs = [random_space.cost_values[i] for i in random_space.vector_c]
+        sizes = [random_space.size_values[i] for i in random_space.vector_s]
+        assert costs == sorted(costs, reverse=True)
+        assert sizes == sorted(sizes)
+
+    def test_paths_are_selection_and_anchored(self, random_space):
+        query_relations = {t.relation for t in random_space.query.from_tables}
+        for path in random_space.paths:
+            assert path.is_selection
+            assert path.anchor_relation in query_relations
+
+    def test_paths_distinct(self, random_space):
+        assert len(set(random_space.paths)) == random_space.k
+
+    def test_parameters_positive(self, random_space):
+        assert all(c > 0 for c in random_space.cost_values)
+        assert all(0 <= r <= 1 for r in random_space.reductions)
+        assert all(0 < d <= 1 for d in random_space.doi_values)
+
+    def test_costs_at_least_base(self, random_space):
+        # Every sub-query scans at least the original query's relations.
+        assert all(c >= random_space.base_cost for c in random_space.cost_values)
+
+    def test_conflicts_reference_valid_pairs(self, random_space):
+        for a, b in random_space.conflicts:
+            assert 0 <= a < b < random_space.k
+            assert random_space.evaluator().size((a, b)) == 0.0
+
+    def test_supreme_cost_is_total(self, random_space):
+        assert random_space.supreme_cost() == pytest.approx(
+            sum(random_space.cost_values)
+        )

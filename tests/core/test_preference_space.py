@@ -1,0 +1,127 @@
+"""Tests for the Preference Space algorithm (Figure 3)."""
+
+import pytest
+
+from repro.core.preference_space import extract_preference_space
+from repro.core.problem import Constraints
+from repro.errors import SearchError
+from repro.sql.parser import parse_select
+from repro.workloads.scenarios import figure1_profile, paper_example_query
+
+
+class TestPaperExample:
+    def test_figure1_profile_yields_two_implicit_preferences(self, movie_db):
+        """The Section 4.2 example: both composed preference paths."""
+        pspace = extract_preference_space(
+            movie_db, paper_example_query(), figure1_profile()
+        )
+        assert pspace.k == 2
+        texts = sorted(str(path) for path in pspace.paths)
+        assert texts == [
+            "MOVIE.did = DIRECTOR.did and DIRECTOR.name = 'W. Allen'",
+            "MOVIE.mid = GENRE.mid and GENRE.genre = 'musical'",
+        ]
+
+    def test_dois_composed_by_f_tensor(self, movie_db):
+        pspace = extract_preference_space(
+            movie_db, paper_example_query(), figure1_profile()
+        )
+        # doi order: W. Allen path = 1.0 x 0.8 = 0.8 before musical = 0.9 x 0.5.
+        assert pspace.doi_values == pytest.approx([0.8, 0.45])
+
+
+class TestExtraction:
+    def test_p_is_doi_sorted(self, movie_db, movie_profile, movie_query):
+        pspace = extract_preference_space(movie_db, movie_query, movie_profile)
+        assert pspace.doi_values == sorted(pspace.doi_values, reverse=True)
+        assert pspace.vector_d == list(range(pspace.k))
+
+    def test_only_selection_paths_emitted(self, movie_db, movie_profile, movie_query):
+        pspace = extract_preference_space(movie_db, movie_query, movie_profile)
+        assert all(path.is_selection for path in pspace.paths)
+
+    def test_all_paths_anchored_in_query(self, movie_db, movie_profile, movie_query):
+        pspace = extract_preference_space(movie_db, movie_query, movie_profile)
+        assert all(path.anchor_relation == "MOVIE" for path in pspace.paths)
+
+    def test_c_vector_sorted_by_cost(self, movie_db, movie_profile, movie_query):
+        pspace = extract_preference_space(movie_db, movie_query, movie_profile)
+        costs = [pspace.cost_values[i] for i in pspace.vector_c]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_s_vector_sorted_by_size(self, movie_db, movie_profile, movie_query):
+        pspace = extract_preference_space(movie_db, movie_query, movie_profile)
+        sizes = [pspace.size_values[i] for i in pspace.vector_s]
+        assert sizes == sorted(sizes)
+
+    def test_k_limit_truncates_extraction(self, movie_db, movie_profile, movie_query):
+        pspace = extract_preference_space(
+            movie_db, movie_query, movie_profile, k_limit=5
+        )
+        assert pspace.k == 5
+
+    def test_k_limit_keeps_top_doi(self, movie_db, movie_profile, movie_query):
+        full = extract_preference_space(movie_db, movie_query, movie_profile)
+        limited = extract_preference_space(
+            movie_db, movie_query, movie_profile, k_limit=5
+        )
+        assert limited.doi_values == full.doi_values[:5]
+
+    def test_invalid_k_limit(self, movie_db, movie_profile, movie_query):
+        with pytest.raises(SearchError):
+            extract_preference_space(movie_db, movie_query, movie_profile, k_limit=0)
+
+    def test_unrelated_query_yields_empty_space(self, movie_db, movie_profile):
+        # No preference path is anchored at DIRECTOR alone... except the
+        # selection preferences directly on DIRECTOR.name.
+        query = parse_select("select name from DIRECTOR")
+        pspace = extract_preference_space(movie_db, query, movie_profile)
+        assert all(p.anchor_relation == "DIRECTOR" for p in pspace.paths)
+
+    def test_selection_times_recorded(self, movie_db, movie_profile, movie_query):
+        pspace = extract_preference_space(movie_db, movie_query, movie_profile)
+        times = pspace.selection_times
+        assert set(times) == {"d", "c", "s"}
+        assert times["c"] >= times["d"] - 1e-9  # C adds the cost ordering
+
+
+class TestConstraintPruning:
+    def test_cmax_prunes_expensive_paths(self, movie_db, movie_profile, movie_query):
+        unpruned = extract_preference_space(movie_db, movie_query, movie_profile)
+        cheap_bound = min(unpruned.cost_values) + 0.5
+        pruned = extract_preference_space(
+            movie_db,
+            movie_query,
+            movie_profile,
+            constraints=Constraints(cmax=cheap_bound),
+        )
+        assert pruned.k < unpruned.k
+        assert all(c <= cheap_bound for c in pruned.cost_values)
+
+    def test_smin_prunes_empty_paths(self, movie_db, movie_profile, movie_query):
+        pruned = extract_preference_space(
+            movie_db,
+            movie_query,
+            movie_profile,
+            constraints=Constraints(smin=1.0),
+        )
+        assert all(s >= 1.0 for s in pruned.size_values)
+
+
+class TestTruncated:
+    def test_truncated_preserves_order_vectors(self, movie_db, movie_profile, movie_query):
+        pspace = extract_preference_space(movie_db, movie_query, movie_profile)
+        cut = pspace.truncated(6)
+        assert cut.k == 6
+        assert cut.vector_d == list(range(6))
+        costs = [cut.cost_values[i] for i in cut.vector_c]
+        assert costs == sorted(costs, reverse=True)
+        assert sorted(cut.vector_s) == list(range(6))
+
+    def test_truncated_beyond_k_is_identity(self, movie_db, movie_profile, movie_query):
+        pspace = extract_preference_space(movie_db, movie_query, movie_profile)
+        assert pspace.truncated(10_000) is pspace
+
+    def test_supreme_cost_shrinks_with_truncation(self, movie_db, movie_profile, movie_query):
+        pspace = extract_preference_space(movie_db, movie_query, movie_profile)
+        assert pspace.truncated(4).supreme_cost() < pspace.supreme_cost()

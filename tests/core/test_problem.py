@@ -1,0 +1,89 @@
+"""Tests for CQP problem statements (Table 1)."""
+
+import pytest
+
+from repro.core.problem import Constraints, CQPProblem, Parameter
+from repro.errors import ProblemSpecError
+
+
+class TestTable1Factories:
+    def test_all_six_classify_back(self):
+        problems = {
+            1: CQPProblem.problem1(smin=1, smax=50),
+            2: CQPProblem.problem2(cmax=400),
+            3: CQPProblem.problem3(cmax=400, smin=1, smax=50),
+            4: CQPProblem.problem4(dmin=0.5),
+            5: CQPProblem.problem5(dmin=0.5, smin=1, smax=50),
+            6: CQPProblem.problem6(smin=1, smax=50),
+        }
+        for number, problem in problems.items():
+            assert problem.table1_number() == number
+
+    def test_objectives(self):
+        assert CQPProblem.problem2(cmax=1).objective is Parameter.DOI
+        assert CQPProblem.problem4(dmin=0.5).objective is Parameter.COST
+        assert CQPProblem.problem2(cmax=1).maximizing
+        assert not CQPProblem.problem4(dmin=0.5).maximizing
+
+    def test_str_mentions_problem_number(self):
+        assert "Problem 2" in str(CQPProblem.problem2(cmax=400))
+
+
+class TestMeaningfulness:
+    def test_size_never_optimized(self):
+        with pytest.raises(ProblemSpecError):
+            CQPProblem(Parameter.SIZE, Constraints(smax=10))
+
+    def test_unconstrained_doi_max_rejected(self):
+        # The "over-personalized" query of the introduction.
+        with pytest.raises(ProblemSpecError):
+            CQPProblem(Parameter.DOI, Constraints())
+
+    def test_doi_max_with_doi_bound_rejected(self):
+        with pytest.raises(ProblemSpecError):
+            CQPProblem(Parameter.DOI, Constraints(cmax=10, dmin=0.5))
+
+    def test_cost_min_with_cost_bound_rejected(self):
+        with pytest.raises(ProblemSpecError):
+            CQPProblem(Parameter.COST, Constraints(cmax=10, dmin=0.5))
+
+    def test_unconstrained_cost_min_rejected(self):
+        with pytest.raises(ProblemSpecError):
+            CQPProblem(Parameter.COST, Constraints())
+
+    def test_problem6_needs_binding_bound(self):
+        with pytest.raises(ProblemSpecError):
+            CQPProblem.problem6(smin=1.0, smax=None)
+
+
+class TestConstraints:
+    def test_bound_validation(self):
+        with pytest.raises(ProblemSpecError):
+            Constraints(cmax=-1)
+        with pytest.raises(ProblemSpecError):
+            Constraints(dmin=1.5)
+        with pytest.raises(ProblemSpecError):
+            Constraints(smin=-1)
+        with pytest.raises(ProblemSpecError):
+            Constraints(smin=10, smax=5)
+
+    def test_satisfies_all_bounds(self):
+        constraints = Constraints(cmax=100, dmin=0.5, smin=1, smax=50)
+        assert constraints.satisfies(doi=0.6, cost=90, size=10)
+        assert not constraints.satisfies(doi=0.6, cost=110, size=10)
+        assert not constraints.satisfies(doi=0.4, cost=90, size=10)
+        assert not constraints.satisfies(doi=0.6, cost=90, size=0.5)
+        assert not constraints.satisfies(doi=0.6, cost=90, size=60)
+
+    def test_boundary_values_tolerated(self):
+        # Floating-point noise exactly at a bound must not flip feasibility.
+        constraints = Constraints(cmax=100.0)
+        assert constraints.satisfies(doi=1.0, cost=100.0 + 1e-12, size=1)
+
+    def test_unbounded_dimensions_ignored(self):
+        assert Constraints().satisfies(doi=0, cost=1e12, size=0)
+
+    def test_has_size_bounds(self):
+        assert Constraints(smin=1).has_size_bounds
+        assert Constraints(smax=1).has_size_bounds
+        assert not Constraints(cmax=1).has_size_bounds

@@ -1,0 +1,164 @@
+"""Tests for relaxed m-of-L matching and doi-ranked retrieval."""
+
+import pytest
+
+from repro.core.personalizer import Personalizer
+from repro.core.problem import CQPProblem
+from repro.core.ranking import RankedRow, rank_results
+from repro.core.rewriter import QueryRewriter
+from repro.errors import SearchError
+from repro.preferences.model import (
+    AtomicPreference,
+    JoinCondition,
+    PreferencePath,
+    SelectionCondition,
+)
+from repro.preferences.profile import UserProfile
+from repro.sql.ast_nodes import Operator
+from repro.sql.executor import Executor
+from repro.sql.parser import parse_select
+from repro.sql.printer import to_sql
+
+
+@pytest.fixture(scope="module")
+def three_paths(movie_db):
+    genre = movie_db.table("GENRE").column("genre")[0]
+    year = movie_db.table("MOVIE").column("year")[0]
+    duration = sorted(movie_db.table("MOVIE").column("duration"))[len(movie_db.table("MOVIE")) // 2]
+    return [
+        PreferencePath(
+            [
+                AtomicPreference(JoinCondition("MOVIE", "mid", "GENRE", "mid"), doi=0.9),
+                AtomicPreference(SelectionCondition("GENRE", "genre", genre), doi=0.8),
+            ]
+        ),
+        PreferencePath(
+            [AtomicPreference(SelectionCondition("MOVIE", "year", year), doi=0.6)]
+        ),
+        PreferencePath(
+            [
+                AtomicPreference(
+                    SelectionCondition("MOVIE", "duration", duration, op=Operator.LE),
+                    doi=0.4,
+                )
+            ]
+        ),
+    ]
+
+
+class TestRelaxedRewriting:
+    def test_at_least_sql_form(self, three_paths):
+        query = parse_select("select title from MOVIE")
+        relaxed = QueryRewriter(query).personalized_query(three_paths, min_matches=2)
+        assert to_sql(relaxed).endswith("having count(*) >= 2")
+
+    def test_all_matches_stays_exact(self, three_paths):
+        query = parse_select("select title from MOVIE")
+        strict = QueryRewriter(query).personalized_query(three_paths, min_matches=3)
+        assert to_sql(strict).endswith("having count(*) = 3")
+
+    def test_min_matches_bounds(self, three_paths):
+        query = parse_select("select title from MOVIE")
+        with pytest.raises(SearchError):
+            QueryRewriter(query).personalized_query(three_paths, min_matches=0)
+        with pytest.raises(SearchError):
+            QueryRewriter(query).personalized_query(three_paths, min_matches=4)
+
+    def test_relaxed_superset_of_strict(self, movie_db, three_paths):
+        query = parse_select("select title from MOVIE")
+        executor = Executor(movie_db)
+        rewriter = QueryRewriter(query)
+        strict = {
+            r for r in executor.execute(rewriter.personalized_query(three_paths)).rows
+        }
+        relaxed = {
+            r
+            for r in executor.execute(
+                rewriter.personalized_query(three_paths, min_matches=1)
+            ).rows
+        }
+        assert strict <= relaxed
+
+    def test_monotone_in_min_matches(self, movie_db, three_paths):
+        query = parse_select("select title from MOVIE")
+        executor = Executor(movie_db)
+        rewriter = QueryRewriter(query)
+        sizes = [
+            len(
+                executor.execute(
+                    rewriter.personalized_query(three_paths, min_matches=m)
+                ).rows
+            )
+            for m in (1, 2, 3)
+        ]
+        assert sizes[0] >= sizes[1] >= sizes[2]
+
+
+class TestRankResults:
+    def test_scores_match_satisfied_sets(self, movie_db, three_paths):
+        query = parse_select("select title from MOVIE")
+        ranked = rank_results(movie_db, query, three_paths, min_matches=1)
+        assert ranked
+        dois = [p.doi() for p in three_paths]
+        from repro.preferences.composition import noisy_or_conjunction_doi
+
+        for entry in ranked[:50]:
+            expected = noisy_or_conjunction_doi([dois[i] for i in entry.satisfied])
+            assert entry.doi == pytest.approx(expected)
+
+    def test_sorted_by_doi_descending(self, movie_db, three_paths):
+        query = parse_select("select title from MOVIE")
+        ranked = rank_results(movie_db, query, three_paths, min_matches=1)
+        scores = [entry.doi for entry in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_min_matches_filters(self, movie_db, three_paths):
+        query = parse_select("select title from MOVIE")
+        loose = rank_results(movie_db, query, three_paths, min_matches=1)
+        tight = rank_results(movie_db, query, three_paths, min_matches=2)
+        assert len(tight) <= len(loose)
+        assert all(entry.match_count >= 2 for entry in tight)
+
+    def test_agreement_with_relaxed_query(self, movie_db, three_paths):
+        # The ranked rows for min_matches=m are exactly the rows the
+        # HAVING COUNT(*) >= m query returns.
+        query = parse_select("select title from MOVIE")
+        executor = Executor(movie_db)
+        relaxed = executor.execute(
+            QueryRewriter(query).personalized_query(three_paths, min_matches=2)
+        )
+        ranked = rank_results(movie_db, query, three_paths, min_matches=2)
+        assert {entry.row for entry in ranked} == set(relaxed.rows)
+
+    def test_empty_paths_rejected(self, movie_db):
+        with pytest.raises(SearchError):
+            rank_results(movie_db, parse_select("select title from MOVIE"), [])
+
+    def test_bad_min_matches_rejected(self, movie_db, three_paths):
+        with pytest.raises(SearchError):
+            rank_results(
+                movie_db, parse_select("select title from MOVIE"), three_paths,
+                min_matches=9,
+            )
+
+
+class TestPersonalizerRanked:
+    def test_execute_ranked_end_to_end(self, movie_db, movie_profile):
+        personalizer = Personalizer(movie_db)
+        outcome = personalizer.personalize(
+            "select title from MOVIE", movie_profile, CQPProblem.problem2(cmax=200.0)
+        )
+        ranked = personalizer.execute_ranked(outcome, min_matches=1)
+        assert all(isinstance(entry, RankedRow) for entry in ranked)
+        strict = personalizer.execute(outcome)
+        # Strict intersection answers are the top-ranked relaxed answers.
+        assert set(strict.rows) <= {entry.row for entry in ranked}
+
+    def test_fallback_without_preferences(self, movie_db):
+        personalizer = Personalizer(movie_db)
+        outcome = personalizer.personalize(
+            "select title from MOVIE", UserProfile("empty"), CQPProblem.problem2(cmax=10)
+        )
+        ranked = personalizer.execute_ranked(outcome)
+        assert ranked
+        assert all(entry.doi == 0.0 for entry in ranked)

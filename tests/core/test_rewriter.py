@@ -1,0 +1,107 @@
+"""Tests for Personalized Query Construction (Section 4.2)."""
+
+import pytest
+
+from repro.core.rewriter import QueryRewriter
+from repro.errors import SearchError
+from repro.preferences.model import (
+    AtomicPreference,
+    JoinCondition,
+    PreferencePath,
+    SelectionCondition,
+)
+from repro.sql.ast_nodes import GroupByHavingCount, SelectQuery
+from repro.sql.parser import parse_select
+from repro.sql.printer import to_sql
+
+
+def allen_path():
+    return PreferencePath(
+        [
+            AtomicPreference(JoinCondition("MOVIE", "did", "DIRECTOR", "did"), doi=1.0),
+            AtomicPreference(SelectionCondition("DIRECTOR", "name", "W. Allen"), doi=0.8),
+        ]
+    )
+
+
+def musical_path():
+    return PreferencePath(
+        [
+            AtomicPreference(JoinCondition("MOVIE", "mid", "GENRE", "mid"), doi=0.9),
+            AtomicPreference(SelectionCondition("GENRE", "genre", "musical"), doi=0.5),
+        ]
+    )
+
+
+class TestSubquery:
+    def test_paper_q1(self):
+        rewriter = QueryRewriter(parse_select("select title from MOVIE"))
+        subquery = rewriter.subquery(allen_path())
+        text = to_sql(subquery)
+        assert "MOVIE.did = DIRECTOR.did" in text
+        assert "DIRECTOR.name = 'W. Allen'" in text
+        assert subquery.distinct
+
+    def test_alias_requalification(self):
+        rewriter = QueryRewriter(parse_select("select M.title from MOVIE M"))
+        subquery = rewriter.subquery(allen_path())
+        text = to_sql(subquery)
+        # The anchor side uses the query's alias M, not the relation name.
+        assert "M.did = DIRECTOR.did" in text
+
+    def test_reuses_relation_already_in_query(self):
+        rewriter = QueryRewriter(
+            parse_select("select title from MOVIE M, DIRECTOR D where M.did = D.did")
+        )
+        subquery = rewriter.subquery(allen_path())
+        # DIRECTOR is not added a second time.
+        assert subquery.relation_names == ["MOVIE", "DIRECTOR"]
+        assert "D.name = 'W. Allen'" in to_sql(subquery)
+
+    def test_unanchored_path_rejected(self):
+        rewriter = QueryRewriter(parse_select("select name from ACTOR"))
+        with pytest.raises(SearchError):
+            rewriter.subquery(allen_path())
+
+    def test_base_conditions_preserved(self):
+        rewriter = QueryRewriter(
+            parse_select("select title from MOVIE where year >= 1990")
+        )
+        subquery = rewriter.subquery(musical_path())
+        assert "year >= 1990" in to_sql(subquery)
+
+
+class TestPersonalizedQuery:
+    def test_no_paths_returns_original(self):
+        query = parse_select("select title from MOVIE")
+        assert QueryRewriter(query).personalized_query([]) is query
+
+    def test_single_path_skips_wrapper(self):
+        query = parse_select("select title from MOVIE")
+        personalized = QueryRewriter(query).personalized_query([musical_path()])
+        assert isinstance(personalized, SelectQuery)
+
+    def test_paper_example_shape(self):
+        query = parse_select("select title from MOVIE")
+        personalized = QueryRewriter(query).personalized_query(
+            [allen_path(), musical_path()]
+        )
+        assert isinstance(personalized, GroupByHavingCount)
+        assert personalized.count_equals == 2
+        assert personalized.group_by == ("title",)
+        text = to_sql(personalized)
+        assert "union all" in text
+        assert text.endswith("having count(*) = 2")
+
+    def test_count_matches_path_count(self):
+        query = parse_select("select title from MOVIE")
+        paths = [
+            allen_path(),
+            musical_path(),
+            PreferencePath(
+                [AtomicPreference(SelectionCondition("MOVIE", "year", 1990), doi=0.4)]
+            ),
+        ]
+        personalized = QueryRewriter(query).personalized_query(paths)
+        assert personalized.count_equals == 3
+        assert len(personalized.source.subqueries) == 3

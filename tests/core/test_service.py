@@ -1,0 +1,136 @@
+"""Tests for the multi-user personalization service."""
+
+import pytest
+
+from repro.core.context import SearchContext
+from repro.core.problem import CQPProblem
+from repro.core.service import PersonalizationService
+from repro.errors import PreferenceError
+from repro.preferences.model import SelectionCondition
+
+
+@pytest.fixture()
+def service(movie_db):
+    return PersonalizationService(movie_db)
+
+
+class TestUserManagement:
+    def test_register_and_list(self, service, movie_profile):
+        service.register("al", movie_profile)
+        service.register("bo")
+        assert service.users == ["al", "bo"]
+        assert service.profile_of("al") is movie_profile
+
+    def test_duplicate_registration_rejected(self, service):
+        service.register("al")
+        with pytest.raises(PreferenceError):
+            service.register("al")
+
+    def test_unknown_user_rejected(self, service):
+        with pytest.raises(PreferenceError):
+            service.profile_of("ghost")
+        with pytest.raises(PreferenceError):
+            service.request("ghost", "select title from MOVIE",
+                            problem=CQPProblem.problem2(cmax=100))
+
+
+class TestRequests:
+    def test_request_with_explicit_problem(self, service, movie_profile):
+        service.register("al", movie_profile)
+        response = service.request(
+            "al", "select title from MOVIE", problem=CQPProblem.problem2(cmax=150.0)
+        )
+        assert response.user == "al"
+        assert response.personalized
+        assert response.outcome.solution.cost <= 150.0 + 1e-6
+
+    def test_request_with_context_policy(self, service, movie_profile):
+        service.register("al", movie_profile)
+        response = service.request(
+            "al",
+            "select title from MOVIE",
+            context=SearchContext(device="desktop", time_budget_ms=150.0),
+        )
+        assert response.outcome.problem.table1_number() == 2
+
+    def test_request_needs_context_or_problem(self, service, movie_profile):
+        service.register("al", movie_profile)
+        with pytest.raises(PreferenceError):
+            service.request("al", "select title from MOVIE")
+
+    def test_empty_profile_serves_unpersonalized(self, service):
+        service.register("new-user")
+        response = service.request(
+            "new-user", "select title from MOVIE", problem=CQPProblem.problem2(cmax=100)
+        )
+        assert not response.personalized
+        assert len(response.rows) > 0
+
+    def test_queries_are_logged(self, service, movie_profile):
+        service.register("al", movie_profile)
+        service.request("al", "select title from MOVIE",
+                        problem=CQPProblem.problem2(cmax=100))
+        service.request("al", "select title from MOVIE where year >= 1990",
+                        problem=CQPProblem.problem2(cmax=100))
+        assert len(service.query_log_of("al")) == 2
+
+
+class TestLearning:
+    def test_relearn_blends_observed_conditions(self, movie_db):
+        service = PersonalizationService(movie_db, relearn_every=2)
+        service.register("cara")  # empty profile: everything is learned
+        genre = movie_db.table("GENRE").column("genre")[0]
+        query = (
+            "select title from MOVIE M, GENRE G "
+            "where M.mid = G.mid and G.genre = '%s'" % genre
+        )
+        problem = CQPProblem.problem2(cmax=1e9)
+        service.request("cara", query, problem=problem)
+        assert len(service.profile_of("cara")) == 0  # not yet due
+        service.request("cara", query, problem=problem)
+        learned = service.profile_of("cara")
+        assert learned.get(SelectionCondition("GENRE", "genre", genre)) is not None
+
+    def test_learned_profile_personalizes_next_request(self, movie_db):
+        service = PersonalizationService(movie_db, relearn_every=1)
+        service.register("cara")
+        genre = movie_db.table("GENRE").column("genre")[0]
+        query = (
+            "select title from MOVIE M, GENRE G "
+            "where M.mid = G.mid and G.genre = '%s'" % genre
+        )
+        problem = CQPProblem.problem2(cmax=1e9)
+        service.request("cara", query, problem=problem)  # learns from this
+        response = service.request(
+            "cara", "select title from MOVIE", problem=problem
+        )
+        assert response.personalized
+
+    def test_relearn_now_idempotent_on_empty_log(self, service):
+        service.register("dan")
+        profile = service.relearn_now("dan")
+        assert len(profile) == 0
+
+    def test_learning_weight_blends(self, movie_db):
+        service = PersonalizationService(
+            movie_db, relearn_every=0, learning_weight=0.5
+        )
+        genre = movie_db.table("GENRE").column("genre")[0]
+        from repro.preferences.profile import UserProfile
+
+        curated = UserProfile("eve")
+        curated.add_selection("GENRE", "genre", genre, doi=1.0)
+        service.register("eve", curated)
+        query = (
+            "select title from MOVIE M, GENRE G "
+            "where M.mid = G.mid and G.genre = '%s'" % genre
+        )
+        service.request("eve", query, problem=CQPProblem.problem2(cmax=1e9))
+        profile = service.relearn_now("eve")
+        blended = profile.get(SelectionCondition("GENRE", "genre", genre))
+        # 0.5 x curated 1.0 + 0.5 x learned cap (0.95) = 0.975.
+        assert blended.doi == pytest.approx(0.975)
+
+    def test_invalid_relearn_every(self, movie_db):
+        with pytest.raises(ValueError):
+            PersonalizationService(movie_db, relearn_every=-1)

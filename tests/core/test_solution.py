@@ -1,0 +1,34 @@
+"""Tests for the solution record."""
+
+from repro.core.solution import CQPSolution
+from repro.core.stats import SearchStats
+
+
+class TestCQPSolution:
+    def make(self):
+        return CQPSolution(
+            pref_indices=(0, 2, 5),
+            doi=0.9876,
+            cost=123.4,
+            size=7.8,
+            algorithm="c_boundaries",
+            stats=SearchStats(algorithm="c_boundaries", states_examined=42),
+        )
+
+    def test_group_size(self):
+        assert self.make().group_size == 3
+
+    def test_str_reports_parameters(self):
+        text = str(self.make())
+        assert "c_boundaries" in text
+        assert "3 prefs" in text
+        assert "0.9876" in text
+
+    def test_stats_attached(self):
+        assert self.make().stats.states_examined == 42
+
+    def test_default_stats(self):
+        solution = CQPSolution(pref_indices=(), doi=0.0, cost=1.0, size=2.0)
+        assert solution.group_size == 0
+        assert solution.stats.states_examined == 0
+        assert "?" in str(solution)  # unnamed algorithm placeholder

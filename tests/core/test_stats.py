@@ -1,0 +1,61 @@
+"""Tests for search instrumentation."""
+
+from repro.core.stats import SearchStats, container_bytes, node_bytes
+
+
+class TestCounters:
+    def test_increments(self):
+        stats = SearchStats()
+        stats.examined()
+        stats.examined(2)
+        stats.evaluated(5)
+        stats.moved()
+        assert stats.states_examined == 3
+        assert stats.parameter_evaluations == 5
+        assert stats.transitions_taken == 1
+
+    def test_merge(self):
+        a = SearchStats(states_examined=3, peak_memory_bytes=100, wall_time_s=1.0)
+        b = SearchStats(states_examined=2, peak_memory_bytes=300, wall_time_s=0.5)
+        a.merge(b)
+        assert a.states_examined == 5
+        assert a.peak_memory_bytes == 300
+        assert a.wall_time_s == 1.5
+
+
+class TestMemoryAccounting:
+    def test_node_bytes_scales_with_group(self):
+        assert node_bytes((1,)) < node_bytes((1, 2, 3))
+
+    def test_container_bytes_sums_nodes(self):
+        states = [(1,), (1, 2)]
+        assert container_bytes(states) == node_bytes((1,)) + node_bytes((1, 2))
+
+    def test_peak_tracks_maximum(self):
+        stats = SearchStats()
+        container = [(1, 2, 3)] * 10
+        stats.track_container("q", lambda: container_bytes(container))
+        stats.sample_memory(force=True)
+        first_peak = stats.peak_memory_bytes
+        del container[5:]
+        stats.sample_memory(force=True)
+        assert stats.peak_memory_bytes == first_peak  # peak never shrinks
+
+    def test_small_runs_sampled_exactly(self):
+        stats = SearchStats()
+        sizes = [0]
+        stats.track_container("q", lambda: sizes[0])
+        for size in (10, 50, 20):
+            sizes[0] = size
+            stats.sample_memory()
+        assert stats.peak_memory_bytes == 50
+
+    def test_kb_property(self):
+        stats = SearchStats(peak_memory_bytes=2048)
+        assert stats.peak_memory_kb == 2.0
+
+    def test_multiple_containers_summed(self):
+        stats = SearchStats()
+        stats.track_container("a", lambda: 100)
+        stats.track_container("b", lambda: 50)
+        assert stats.sample_memory(force=True) == 150

@@ -1,0 +1,69 @@
+"""Tests for search tracing."""
+
+import pytest
+
+from repro.core.algorithms import CBoundaries, CMaxBounds, DHeurDoi, DMaxDoi
+from repro.core.trace import SearchTrace, TracedSpace
+from repro.workloads.scenarios import (
+    FIGURE6_CMAX,
+    figure6_cost_space,
+    figure6_evaluator,
+    make_doi_space,
+)
+
+
+class TestTracedSpace:
+    def test_solution_unchanged_by_tracing(self):
+        plain = CBoundaries().solve(figure6_cost_space())
+        traced_space = TracedSpace(figure6_cost_space())
+        traced = CBoundaries().solve(traced_space)
+        assert traced.pref_indices == plain.pref_indices
+        assert traced.doi == pytest.approx(plain.doi)
+
+    def test_delegates_attributes(self):
+        traced = TracedSpace(figure6_cost_space())
+        assert traced.k == 5
+        assert traced.budget_aligned
+        assert traced.prefs((0,)) == (0,)
+
+    def test_figure6_first_check_is_most_expensive_singleton(self):
+        # FINDBOUNDARY starts from {c1}: the first feasibility check.
+        traced = TracedSpace(figure6_cost_space())
+        CBoundaries().solve(traced)
+        assert traced.trace.states_checked()[0] == (0,)
+
+    def test_figure6_boundary_chain_visible(self):
+        # The paper's narration: c1 feasible, c1c2 infeasible, then its
+        # verticals — all of which must appear in the trace.
+        traced = TracedSpace(figure6_cost_space())
+        CBoundaries().solve(traced)
+        checked = traced.trace.states_checked()
+        assert (0, 1) in checked     # Horizontal(c1)
+        assert (0, 2) in checked     # Vertical of c1c2 -> c1c3 (boundary)
+
+    def test_counts_by_kind(self):
+        traced = TracedSpace(figure6_cost_space())
+        DMaxDoi().solve(traced)
+        counts = traced.trace.counts()
+        assert counts["feasibility"] > 0
+        assert counts["horizontal"] > 0
+
+    def test_greedy_trace_much_shorter(self):
+        exhaustive_trace = TracedSpace(figure6_cost_space())
+        CBoundaries().solve(exhaustive_trace)
+        greedy_trace = TracedSpace(figure6_cost_space())
+        CMaxBounds().solve(greedy_trace)
+        assert len(greedy_trace.trace.events) <= len(exhaustive_trace.trace.events)
+
+    def test_narrate_truncation(self):
+        trace = SearchTrace()
+        for i in range(10):
+            trace.record("feasibility", (i,), (True,))
+        text = trace.narrate(limit=3)
+        assert "7 more events" in text
+
+    def test_doi_space_algorithms_traceable(self):
+        traced = TracedSpace(make_doi_space(figure6_evaluator(), FIGURE6_CMAX))
+        solution = DHeurDoi().solve(traced)
+        assert solution is not None
+        assert traced.trace.counts().get("horizontal2", 0) > 0

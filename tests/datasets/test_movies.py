@@ -1,0 +1,78 @@
+"""Tests for the synthetic movie dataset."""
+
+import pytest
+
+from repro.datasets.movies import (
+    GENRES,
+    MovieDatasetConfig,
+    build_movie_database,
+    movie_schema,
+)
+
+SMALL = MovieDatasetConfig(n_movies=200, n_directors=40, n_actors=80, cast_per_movie=2)
+
+
+@pytest.fixture(scope="module")
+def db():
+    return build_movie_database(SMALL, seed=5)
+
+
+class TestSchema:
+    def test_paper_relations_present(self):
+        schema = movie_schema()
+        for name in ("MOVIE", "DIRECTOR", "GENRE", "ACTOR", "CASTS"):
+            assert schema.has_relation(name)
+
+    def test_foreign_keys_wired(self):
+        schema = movie_schema()
+        assert len(schema.foreign_keys) == 4
+        assert sorted(schema.joined_relations("MOVIE")) == ["CASTS", "DIRECTOR", "GENRE"]
+
+
+class TestGeneration:
+    def test_row_counts(self, db):
+        assert len(db.table("MOVIE")) == 200
+        assert len(db.table("DIRECTOR")) == 40
+        assert len(db.table("ACTOR")) == 80
+        assert len(db.table("CASTS")) == 200 * 2
+
+    def test_each_movie_has_genres(self, db):
+        mids = {row[0] for row in db.table("GENRE")}
+        assert len(mids) == 200
+
+    def test_referential_integrity_holds(self, db):
+        db.check_referential_integrity()  # raises on violation
+
+    def test_statistics_analyzed(self, db):
+        assert db.analyzed
+        assert db.statistics("MOVIE").row_count == 200
+
+    def test_deterministic_given_seed(self):
+        a = build_movie_database(SMALL, seed=5)
+        b = build_movie_database(SMALL, seed=5)
+        assert a.table("MOVIE").rows() == b.table("MOVIE").rows()
+        assert a.table("CASTS").rows() == b.table("CASTS").rows()
+
+    def test_different_seeds_differ(self):
+        a = build_movie_database(SMALL, seed=5)
+        b = build_movie_database(SMALL, seed=6)
+        assert a.table("MOVIE").rows() != b.table("MOVIE").rows()
+
+    def test_values_within_configured_ranges(self, db):
+        years = db.table("MOVIE").column("year")
+        assert min(years) >= 1930 and max(years) <= 2005
+        genres = set(db.table("GENRE").column("genre"))
+        assert genres <= set(GENRES)
+
+    def test_director_skew(self, db):
+        # Zipf skew: the most prolific director has clearly more movies
+        # than the mean.
+        from collections import Counter
+
+        counts = Counter(db.table("MOVIE").column("did"))
+        mean = 200 / 40
+        assert counts.most_common(1)[0][1] > 2 * mean
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            MovieDatasetConfig(n_movies=0)

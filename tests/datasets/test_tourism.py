@@ -1,0 +1,96 @@
+"""Tests for the tourist-information dataset and the Pisa scenario."""
+
+import pytest
+
+from repro.core.personalizer import Personalizer
+from repro.core.problem import CQPProblem
+from repro.datasets.tourism import (
+    CITIES,
+    CUISINES,
+    TourismDatasetConfig,
+    al_profile,
+    build_tourism_database,
+    tourism_schema,
+)
+
+SMALL = TourismDatasetConfig(n_restaurants=400, n_pois=100)
+
+
+@pytest.fixture(scope="module")
+def tourism_db():
+    return build_tourism_database(SMALL, seed=3)
+
+
+class TestSchema:
+    def test_relations_present(self):
+        schema = tourism_schema()
+        for name in ("CITY", "CUISINE", "POI", "RESTAURANT"):
+            assert schema.has_relation(name)
+
+    def test_foreign_keys(self):
+        schema = tourism_schema()
+        assert sorted(schema.joined_relations("RESTAURANT")) == ["CITY", "CUISINE"]
+
+
+class TestGeneration:
+    def test_row_counts(self, tourism_db):
+        assert len(tourism_db.table("RESTAURANT")) == 400
+        assert len(tourism_db.table("POI")) == 100
+        assert len(tourism_db.table("CITY")) == len(CITIES)
+        assert len(tourism_db.table("CUISINE")) == len(CUISINES)
+
+    def test_integrity_and_statistics(self, tourism_db):
+        tourism_db.check_referential_integrity()
+        assert tourism_db.analyzed
+
+    def test_values_in_ranges(self, tourism_db):
+        prices = tourism_db.table("RESTAURANT").column("price")
+        ratings = tourism_db.table("RESTAURANT").column("rating")
+        assert min(prices) >= 5 and max(prices) <= 120
+        assert min(ratings) >= 1 and max(ratings) <= 10
+
+    def test_deterministic(self):
+        a = build_tourism_database(SMALL, seed=3)
+        b = build_tourism_database(SMALL, seed=3)
+        assert a.table("RESTAURANT").rows() == b.table("RESTAURANT").rows()
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            TourismDatasetConfig(n_restaurants=0)
+
+
+class TestPisaScenario:
+    def test_al_profile_validates(self, tourism_db):
+        from repro.preferences.graph import PersonalizationGraph
+
+        PersonalizationGraph(tourism_db.schema, al_profile())
+
+    def test_palmtop_problem3_end_to_end(self, tourism_db):
+        personalizer = Personalizer(tourism_db)
+        outcome = personalizer.personalize(
+            "select name from RESTAURANT",
+            al_profile(),
+            CQPProblem.problem3(cmax=100.0, smin=1.0, smax=10.0),
+        )
+        if outcome.personalized:
+            solution = outcome.solution
+            assert solution.cost <= 100.0 + 1e-6
+            assert 1.0 - 1e-9 <= solution.size <= 10.0 * (1 + 1e-6)
+
+    def test_conflicting_cuisines_detected(self, tourism_db):
+        from repro.core.preference_space import extract_preference_space
+        from repro.sql.parser import parse_select
+
+        pspace = extract_preference_space(
+            tourism_db, parse_select("select name from RESTAURANT"), al_profile()
+        )
+        # tuscan / seafood / pizzeria pairwise conflict: 3 pairs at least.
+        assert len(pspace.conflicts) >= 3
+
+    def test_problem4_minimizes_cost(self, tourism_db):
+        personalizer = Personalizer(tourism_db)
+        outcome = personalizer.personalize(
+            "select name from RESTAURANT", al_profile(), CQPProblem.problem4(dmin=0.9)
+        )
+        assert outcome.personalized
+        assert outcome.solution.doi >= 0.9 - 1e-9

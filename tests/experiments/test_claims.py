@@ -1,0 +1,58 @@
+"""Tests for the executable paper-claims checklist."""
+
+import pytest
+
+from repro.datasets.movies import MovieDatasetConfig
+from repro.experiments.claims import (
+    ALL_CLAIMS,
+    check_exact_algorithms_agree,
+    check_heuristic_quality,
+    check_prefsel_negligible,
+    render_claims,
+    run_claims,
+)
+from repro.experiments.harness import ExperimentConfig, Workbench
+
+TINY = ExperimentConfig(
+    seed=2,
+    n_profiles=2,
+    n_queries=2,
+    k_default=10,
+    cmax_default=200.0,
+    k_values=(8, 12),
+    cmax_fractions=(0.25, 0.5, 1.0),
+    dataset=MovieDatasetConfig(n_movies=1200, n_directors=200, n_actors=400, cast_per_movie=2),
+)
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return Workbench(TINY)
+
+
+class TestIndividualClaims:
+    def test_exact_agreement_claim(self, bench):
+        result = check_exact_algorithms_agree(bench)
+        assert result.passed, result.evidence
+
+    def test_quality_claim(self, bench):
+        result = check_heuristic_quality(bench)
+        assert result.passed, result.evidence
+
+    def test_prefsel_claim(self, bench):
+        result = check_prefsel_negligible(bench)
+        assert result.passed, result.evidence
+
+
+class TestChecklist:
+    def test_all_claims_hold_on_tiny_bench(self, bench):
+        results = run_claims(bench)
+        assert len(results) == len(ALL_CLAIMS)
+        failing = [r.claim_id for r in results if not r.passed]
+        assert not failing, failing
+
+    def test_render_contains_verdicts(self, bench):
+        results = run_claims(bench)
+        text = render_claims(results)
+        assert "PASS" in text
+        assert "%d/%d hold" % (len(results), len(results)) in text

@@ -1,0 +1,90 @@
+"""Tests for the experiment workbench and grid runner."""
+
+import pytest
+
+from repro.datasets.movies import MovieDatasetConfig
+from repro.experiments.harness import ExperimentConfig, Workbench
+
+TINY = ExperimentConfig(
+    seed=0,
+    n_profiles=2,
+    n_queries=2,
+    k_default=8,
+    cmax_default=150.0,
+    k_values=(6, 8),
+    cmax_fractions=(0.3, 0.8),
+    dataset=MovieDatasetConfig(n_movies=600, n_directors=100, n_actors=200, cast_per_movie=2),
+)
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return Workbench(TINY)
+
+
+class TestWorkbench:
+    def test_populations_built(self, bench):
+        assert len(bench.profiles) == 2
+        assert len(bench.queries) == 2
+        assert len(bench.run_pairs()) == 4
+
+    def test_preference_space_cached(self, bench):
+        first = bench.preference_space(0, 0)
+        assert bench.preference_space(0, 0) is first
+
+    def test_max_k_supports_sweeps(self, bench):
+        assert bench.max_k() >= max(TINY.k_values)
+
+
+class TestSolveGrid:
+    def test_k_truncation_applied(self, bench):
+        records = bench.solve_grid("c_maxbounds", 6, cmax=150.0)
+        assert all(r.k == 6 for r in records)
+
+    def test_cmax_fraction_of_supreme(self, bench):
+        records = bench.solve_grid("c_maxbounds", 6, cmax_fraction=0.5)
+        for record in records:
+            pspace = bench.preference_space(record.profile_index, record.query_index)
+            supreme = pspace.truncated(6).supreme_cost()
+            assert record.cmax == pytest.approx(0.5 * supreme)
+
+    def test_full_fraction_always_feasible(self, bench):
+        records = bench.solve_grid("c_maxbounds", 6, cmax_fraction=1.0)
+        assert all(r.found for r in records)
+        # At 100% of Supreme Cost every preference fits.
+        assert all(r.doi > 0 for r in records)
+
+    def test_solutions_respect_cmax(self, bench):
+        for algorithm in ("c_boundaries", "d_heurdoi"):
+            for record in bench.solve_grid(algorithm, 8, cmax=150.0):
+                if record.found:
+                    assert record.cost <= 150.0 + 1e-6
+
+    def test_exact_algorithms_agree_on_grid(self, bench):
+        c_records = bench.solve_grid("c_boundaries", 6, cmax=150.0)
+        d_records = bench.solve_grid("d_maxdoi", 6, cmax=150.0)
+        for c, d in zip(c_records, d_records):
+            assert c.found == d.found
+            if c.found:
+                assert c.doi == pytest.approx(d.doi, abs=1e-9)
+
+    def test_infeasible_recorded_not_found(self, bench):
+        records = bench.solve_grid("c_boundaries", 6, cmax=0.001)
+        assert all(not r.found for r in records)
+
+
+class TestConfigs:
+    def test_quick_is_smaller_than_full(self):
+        quick, full = ExperimentConfig.quick(), ExperimentConfig.full()
+        assert quick.n_profiles * quick.n_queries < full.n_profiles * full.n_queries
+        assert max(quick.k_values) < max(full.k_values)
+
+    def test_full_matches_paper(self):
+        full = ExperimentConfig.full()
+        assert (full.n_profiles, full.n_queries) == (20, 10)
+        assert full.k_values == (10, 20, 30, 40)
+        assert full.cmax_default == 400.0
+
+    def test_with_runs_override(self):
+        config = ExperimentConfig.quick().with_runs(1, 1)
+        assert (config.n_profiles, config.n_queries) == (1, 1)

@@ -1,0 +1,51 @@
+"""Tests for Markdown report rendering."""
+
+from repro.experiments.harness import ExperimentConfig
+from repro.experiments.metrics import FigureResult
+from repro.experiments.report import figure_to_markdown, render_report, write_report
+
+
+def sample_result():
+    result = FigureResult(
+        figure_id="12a",
+        title="demo",
+        x_label="K",
+        y_label="seconds",
+        x_values=[10, 20],
+    )
+    result.add_point("algo_a", 0.5)
+    result.add_point("algo_b", 1.5)
+    result.add_point("algo_a", 0.75)
+    result.add_point("algo_b", 2.25)
+    return result
+
+
+class TestMarkdown:
+    def test_figure_section_structure(self):
+        text = figure_to_markdown(sample_result())
+        lines = text.splitlines()
+        assert lines[0].startswith("## Figure 12a")
+        assert "| K | algo_a | algo_b |" in text
+        assert "|---|---|---|" in text
+        assert "| 10 | 0.5000 | 1.5000 |" in text
+
+    def test_render_report_includes_config(self):
+        text = render_report([sample_result()], ExperimentConfig.quick())
+        assert text.startswith("# CQP reproduction results")
+        assert "4 profiles" in text
+        assert "## Figure 12a" in text
+
+    def test_write_report_roundtrip(self, tmp_path):
+        target = write_report(
+            [sample_result()], ExperimentConfig.quick(), tmp_path / "out.md"
+        )
+        assert target.exists()
+        assert "Figure 12a" in target.read_text()
+
+    def test_cli_output_flag(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        out = tmp_path / "report.md"
+        assert main(["--figure", "table1", "--output", str(out)]) == 0
+        assert out.exists()
+        assert "report written" in capsys.readouterr().out

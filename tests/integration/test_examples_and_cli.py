@@ -1,0 +1,44 @@
+"""Smoke tests: every example script and the experiments CLI run clean."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).resolve().parents[2] / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=[p.stem for p in EXAMPLES])
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip()
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 3
+    assert any(p.name == "quickstart.py" for p in EXAMPLES)
+
+
+class TestCLI:
+    def test_parser_requires_scope(self):
+        from repro.experiments.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table1_inline(self, capsys):
+        # table1 on the quick config is the cheapest figure; run it
+        # in-process to cover main() end to end.
+        from repro.experiments.cli import main
+
+        assert main(["--figure", "table1"]) == 0
+        output = capsys.readouterr().out
+        assert "Figure T1" in output
+        assert "config:" in output

@@ -1,0 +1,105 @@
+"""Tests for doi composition (f⊗ and r, Formulas 1-4, 9-10).
+
+Property-based tests (hypothesis) verify the axioms the CQP algorithms
+rely on: Formula (2) — f⊗ bounded by the minimum — and Formula (4) —
+inclusion monotonicity of r.
+"""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import PreferenceError
+from repro.preferences.composition import (
+    MIN_SUM_ALGEBRA,
+    PRODUCT_ALGEBRA,
+    average_conjunction_doi,
+    min_path_doi,
+    noisy_or_conjunction_doi,
+    product_path_doi,
+)
+
+dois = st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=8)
+
+
+class TestProductPath:
+    def test_paper_formula9(self):
+        # Figure 1: p3 ∧ p4 -> 1.0 x 0.8 = 0.8.
+        assert product_path_doi([1.0, 0.8]) == pytest.approx(0.8)
+
+    def test_single_is_identity(self):
+        assert product_path_doi([0.37]) == pytest.approx(0.37)
+
+    def test_empty_rejected(self):
+        with pytest.raises(PreferenceError):
+            product_path_doi([])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(PreferenceError):
+            product_path_doi([1.2])
+        with pytest.raises(PreferenceError):
+            product_path_doi([-0.1])
+
+    @given(dois)
+    def test_formula2_bounded_by_min(self, values):
+        assert product_path_doi(values) <= min(values) + 1e-12
+
+    @given(dois, st.floats(min_value=0.0, max_value=1.0))
+    def test_longer_paths_never_gain(self, values, extra):
+        assert product_path_doi(values + [extra]) <= product_path_doi(values) + 1e-12
+
+
+class TestNoisyOrConjunction:
+    def test_paper_formula10(self):
+        # doi = 1 - (1-0.5)(1-0.8) = 0.9
+        assert noisy_or_conjunction_doi([0.5, 0.8]) == pytest.approx(0.9)
+
+    def test_empty_set_is_zero(self):
+        assert noisy_or_conjunction_doi([]) == 0.0
+
+    def test_must_have_dominates(self):
+        assert noisy_or_conjunction_doi([1.0, 0.1]) == pytest.approx(1.0)
+
+    @given(dois, st.floats(min_value=0.0, max_value=1.0))
+    def test_formula4_inclusion_monotone(self, values, extra):
+        assert (
+            noisy_or_conjunction_doi(values + [extra])
+            >= noisy_or_conjunction_doi(values) - 1e-12
+        )
+
+    @given(dois)
+    def test_result_in_unit_interval(self, values):
+        assert 0.0 <= noisy_or_conjunction_doi(values) <= 1.0
+
+    @given(dois)
+    def test_saturation_above_each_member(self, values):
+        # The conjunction is at least as interesting as any single member
+        # (the saturation the paper blames for tiny quality differences).
+        assert noisy_or_conjunction_doi(values) >= max(values) - 1e-12
+
+
+class TestAlternativeAlgebra:
+    @given(dois)
+    def test_min_path_satisfies_formula2(self, values):
+        assert min_path_doi(values) <= min(values)
+
+    @given(dois, st.floats(min_value=0.0, max_value=1.0))
+    def test_capped_sum_is_monotone(self, values, extra):
+        assert (
+            average_conjunction_doi(values + [extra])
+            >= average_conjunction_doi(values) - 1e-12
+        )
+
+    def test_algebra_path_guard(self):
+        # A path function violating Formula (2) is rejected at use time.
+        from repro.preferences.composition import DoiAlgebra
+
+        bad = DoiAlgebra(path=lambda ds: min(1.0, sum(ds)), conjunction=sum, name="bad")
+        with pytest.raises(PreferenceError):
+            bad.path_doi([0.5, 0.5])
+
+    def test_named_algebras(self):
+        assert PRODUCT_ALGEBRA.name == "product/noisy-or"
+        assert MIN_SUM_ALGEBRA.path_doi([0.3, 0.9]) == pytest.approx(0.3)

@@ -1,0 +1,123 @@
+"""Tests for profile learning from query logs."""
+
+import pytest
+
+from repro.errors import PreferenceError
+from repro.preferences.learning import (
+    LearningConfig,
+    condition_frequencies,
+    learn_profile,
+    merge_profiles,
+)
+from repro.preferences.model import JoinCondition, SelectionCondition
+from repro.sql.parser import parse_select
+
+COMEDY = (
+    "select title from MOVIE M, GENRE G "
+    "where M.mid = G.mid and G.genre = 'comedy'"
+)
+ALLEN = (
+    "select title from MOVIE M, DIRECTOR D "
+    "where M.did = D.did and D.name = 'Allen'"
+)
+RECENT = "select title from MOVIE M where M.year >= 1990"
+
+
+def log(*texts):
+    return [parse_select(t) for t in texts]
+
+
+class TestConditionFrequencies:
+    def test_counts_per_query_once(self):
+        counts, total = condition_frequencies(log(COMEDY, COMEDY, ALLEN))
+        assert total == 3
+        genre = SelectionCondition("GENRE", "genre", "comedy")
+        assert counts[genre] == 2
+
+    def test_join_directed_from_leading_relation(self):
+        counts, _ = condition_frequencies(log(COMEDY))
+        join = JoinCondition("MOVIE", "mid", "GENRE", "mid")
+        assert counts[join] == 1
+
+    def test_join_direction_follows_from_order(self):
+        reversed_from = (
+            "select title from GENRE G, MOVIE M where M.mid = G.mid"
+        )
+        counts, _ = condition_frequencies(log(reversed_from))
+        assert counts[JoinCondition("GENRE", "mid", "MOVIE", "mid")] == 1
+
+    def test_unqualified_columns_on_single_table(self):
+        counts, _ = condition_frequencies(
+            log("select title from MOVIE M where M.year >= 1990")
+        )
+        assert len(counts) == 1
+
+
+class TestLearnProfile:
+    def test_doi_monotone_in_frequency(self):
+        profile = learn_profile(log(COMEDY, COMEDY, COMEDY, ALLEN))
+        genre_doi = profile.get(SelectionCondition("GENRE", "genre", "comedy")).doi
+        name_doi = profile.get(SelectionCondition("DIRECTOR", "name", "Allen")).doi
+        assert genre_doi > name_doi
+
+    def test_doi_mapping_endpoints(self):
+        config = LearningConfig(doi_floor=0.2, doi_cap=0.9)
+        profile = learn_profile(log(COMEDY), config=config)
+        # Every condition appears in 100% of this one-query log.
+        assert all(p.doi == pytest.approx(0.9) for p in profile)
+
+    def test_min_support_filters(self):
+        config = LearningConfig(min_support=2)
+        profile = learn_profile(log(COMEDY, COMEDY, ALLEN), config=config)
+        assert profile.get(SelectionCondition("GENRE", "genre", "comedy")) is not None
+        assert profile.get(SelectionCondition("DIRECTOR", "name", "Allen")) is None
+
+    def test_empty_log_rejected(self):
+        with pytest.raises(PreferenceError):
+            learn_profile([])
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(PreferenceError):
+            LearningConfig(min_support=0)
+        with pytest.raises(PreferenceError):
+            LearningConfig(doi_floor=0.9, doi_cap=0.5)
+
+    def test_learned_profile_personalizes(self, movie_db):
+        # End to end: learn from a log whose values exist in the data,
+        # then personalize with the learned profile.
+        from repro.core.personalizer import Personalizer
+        from repro.core.problem import CQPProblem
+
+        genre = movie_db.table("GENRE").column("genre")[0]
+        queries = log(
+            "select title from MOVIE M, GENRE G "
+            "where M.mid = G.mid and G.genre = '%s'" % genre,
+            RECENT,
+            RECENT,
+        )
+        profile = learn_profile(queries)
+        personalizer = Personalizer(movie_db)
+        outcome = personalizer.personalize(
+            "select title from MOVIE", profile, CQPProblem.problem2(cmax=1e9)
+        )
+        assert outcome.personalized
+
+
+class TestMergeProfiles:
+    def test_blend_weights(self):
+        a = learn_profile(log(COMEDY), name="a", config=LearningConfig(doi_cap=0.8, doi_floor=0.8))
+        b = learn_profile(log(COMEDY), name="b", config=LearningConfig(doi_cap=0.4, doi_floor=0.4))
+        merged = merge_profiles(a, b, weight=0.5)
+        condition = SelectionCondition("GENRE", "genre", "comedy")
+        assert merged.get(condition).doi == pytest.approx(0.6)
+
+    def test_one_sided_conditions_kept(self):
+        a = learn_profile(log(COMEDY), name="a")
+        b = learn_profile(log(RECENT), name="b")
+        merged = merge_profiles(a, b)
+        assert len(merged) == len(a) + len(b)
+
+    def test_weight_bounds(self):
+        a = learn_profile(log(COMEDY))
+        with pytest.raises(PreferenceError):
+            merge_profiles(a, a, weight=1.5)

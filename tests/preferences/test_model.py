@@ -1,0 +1,147 @@
+"""Tests for preference conditions, atomic preferences, and paths."""
+
+import pytest
+
+from repro.errors import PreferenceError
+from repro.preferences.composition import PRODUCT_ALGEBRA
+from repro.preferences.model import (
+    AtomicPreference,
+    JoinCondition,
+    PreferencePath,
+    SelectionCondition,
+)
+from repro.sql.ast_nodes import Operator
+
+
+def selection(relation="GENRE", attribute="genre", value="musical", doi=0.5):
+    return AtomicPreference(
+        condition=SelectionCondition(relation, attribute, value), doi=doi
+    )
+
+
+def join(left="MOVIE", left_attr="mid", right="GENRE", right_attr="mid", doi=0.9):
+    return AtomicPreference(
+        condition=JoinCondition(left, left_attr, right, right_attr), doi=doi
+    )
+
+
+class TestConditions:
+    def test_selection_to_comparison(self):
+        condition = SelectionCondition("GENRE", "genre", "musical")
+        comparison = condition.to_comparison()
+        assert str(comparison) == "GENRE.genre = 'musical'"
+
+    def test_selection_with_qualifier(self):
+        comparison = SelectionCondition("GENRE", "genre", "musical").to_comparison("G")
+        assert str(comparison) == "G.genre = 'musical'"
+
+    def test_selection_range_operator(self):
+        condition = SelectionCondition("MOVIE", "year", 1990, op=Operator.GE)
+        assert str(condition.to_comparison()) == "MOVIE.year >= 1990"
+
+    def test_join_to_comparison(self):
+        condition = JoinCondition("MOVIE", "did", "DIRECTOR", "did")
+        assert str(condition.to_comparison()) == "MOVIE.did = DIRECTOR.did"
+
+    def test_self_join_rejected(self):
+        with pytest.raises(PreferenceError):
+            JoinCondition("MOVIE", "mid", "MOVIE", "mid")
+
+    def test_anchor_relations(self):
+        assert SelectionCondition("GENRE", "genre", "x").anchor_relation == "GENRE"
+        join_cond = JoinCondition("MOVIE", "mid", "GENRE", "mid")
+        assert join_cond.anchor_relation == "MOVIE"
+        assert join_cond.target_relation == "GENRE"
+
+
+class TestAtomicPreference:
+    def test_doi_bounds(self):
+        with pytest.raises(PreferenceError):
+            selection(doi=1.5)
+        with pytest.raises(PreferenceError):
+            selection(doi=-0.1)
+
+    def test_classification(self):
+        assert selection().is_selection
+        assert not selection().is_join
+        assert join().is_join
+
+    def test_str_form(self):
+        assert "doi(" in str(selection())
+
+
+class TestPreferencePath:
+    def test_atomic_selection_path(self):
+        path = PreferencePath([selection()])
+        assert path.is_selection
+        assert path.anchor_relation == "GENRE"
+        assert path.joined_relations == ()
+        assert len(path) == 1
+
+    def test_paper_implicit_preference(self):
+        # p3 ∧ p4: MOVIE.did = DIRECTOR.did and DIRECTOR.name = 'W. Allen'
+        path = PreferencePath(
+            [
+                join("MOVIE", "did", "DIRECTOR", "did", doi=1.0),
+                selection("DIRECTOR", "name", "W. Allen", doi=0.8),
+            ]
+        )
+        assert path.is_selection
+        assert path.anchor_relation == "MOVIE"
+        assert path.joined_relations == ("DIRECTOR",)
+        assert path.doi(PRODUCT_ALGEBRA) == pytest.approx(0.8)
+
+    def test_join_only_path_is_open(self):
+        path = PreferencePath([join()])
+        assert path.is_join
+        assert path.frontier_relation == "GENRE"
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(PreferenceError):
+            PreferencePath([])
+
+    def test_non_adjacent_steps_rejected(self):
+        with pytest.raises(PreferenceError):
+            PreferencePath([join(), selection("DIRECTOR", "name", "x")])
+
+    def test_selection_must_terminate(self):
+        with pytest.raises(PreferenceError):
+            PreferencePath([selection(), join("GENRE", "mid", "MOVIE", "mid")])
+
+    def test_cyclic_path_rejected(self):
+        with pytest.raises(PreferenceError):
+            PreferencePath(
+                [
+                    join("MOVIE", "mid", "GENRE", "mid"),
+                    join("GENRE", "mid", "MOVIE", "mid"),
+                ]
+            )
+
+    def test_extended_builds_new_path(self):
+        base = PreferencePath([join()])
+        extended = base.extended(selection("GENRE", "genre", "musical"))
+        assert len(extended) == 2
+        assert len(base) == 1  # immutable
+
+    def test_multi_hop_path(self):
+        path = PreferencePath(
+            [
+                join("MOVIE", "mid", "CASTS", "mid", doi=0.9),
+                join("CASTS", "aid", "ACTOR", "aid", doi=0.8),
+                selection("ACTOR", "name", "X", doi=0.5),
+            ]
+        )
+        assert path.relations == ("MOVIE", "CASTS", "ACTOR")
+        assert path.joined_relations == ("CASTS", "ACTOR")
+        assert path.doi(PRODUCT_ALGEBRA) == pytest.approx(0.9 * 0.8 * 0.5)
+
+    def test_equality_and_hash_by_conditions(self):
+        a = PreferencePath([selection(doi=0.5)])
+        b = PreferencePath([selection(doi=0.5)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_doi_non_increasing_with_length(self):
+        base = PreferencePath([join(doi=0.9)])
+        extended = base.extended(selection("GENRE", "genre", "musical", doi=0.5))
+        assert extended.doi(PRODUCT_ALGEBRA) <= 0.9

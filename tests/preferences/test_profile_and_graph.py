@@ -1,0 +1,86 @@
+"""Tests for user profiles and the personalization graph."""
+
+import pytest
+
+from repro.errors import PreferenceError
+from repro.preferences.graph import PersonalizationGraph
+from repro.preferences.model import JoinCondition, SelectionCondition
+from repro.preferences.profile import UserProfile
+from repro.workloads.scenarios import figure1_profile
+
+
+class TestUserProfile:
+    def test_add_and_iterate(self):
+        profile = figure1_profile()
+        assert len(profile) == 4
+        assert sum(1 for _ in profile) == 4
+
+    def test_duplicate_condition_rejected(self):
+        profile = UserProfile("u")
+        profile.add_selection("GENRE", "genre", "musical", doi=0.5)
+        with pytest.raises(PreferenceError):
+            profile.add_selection("GENRE", "genre", "musical", doi=0.7)
+
+    def test_anchored_at(self):
+        profile = figure1_profile()
+        movie_anchored = profile.anchored_at("MOVIE")
+        assert len(movie_anchored) == 2  # the two join preferences
+        assert all(p.is_join for p in movie_anchored)
+
+    def test_selections_and_joins_split(self):
+        profile = figure1_profile()
+        assert len(profile.selections_on("GENRE")) == 1
+        assert len(profile.joins_from("MOVIE")) == 2
+        assert profile.selections_on("MOVIE") == []
+
+    def test_get_by_condition(self):
+        profile = figure1_profile()
+        condition = SelectionCondition("GENRE", "genre", "musical")
+        assert profile.get(condition) is not None
+        assert profile.get(SelectionCondition("GENRE", "genre", "opera")) is None
+
+    def test_relations_listing(self):
+        profile = figure1_profile()
+        assert profile.relations == ["DIRECTOR", "GENRE", "MOVIE"]
+
+
+class TestPersonalizationGraph:
+    def test_valid_profile_accepted(self, movie_db):
+        graph = PersonalizationGraph(movie_db.schema, figure1_profile())
+        assert graph.edge_count() == 4
+
+    def test_unknown_relation_rejected(self, movie_db):
+        profile = UserProfile("bad")
+        profile.add_selection("GHOST", "name", "x", doi=0.5)
+        with pytest.raises(PreferenceError):
+            PersonalizationGraph(movie_db.schema, profile)
+
+    def test_unknown_attribute_rejected(self, movie_db):
+        profile = UserProfile("bad")
+        profile.add_selection("MOVIE", "ghost", "x", doi=0.5)
+        with pytest.raises(PreferenceError):
+            PersonalizationGraph(movie_db.schema, profile)
+
+    def test_bad_join_side_rejected(self, movie_db):
+        profile = UserProfile("bad")
+        profile.add_join("MOVIE", "mid", "GENRE", "ghost", doi=0.5)
+        with pytest.raises(PreferenceError):
+            PersonalizationGraph(movie_db.schema, profile)
+
+    def test_nodes_include_relations_attributes_values(self, movie_db):
+        graph = PersonalizationGraph(movie_db.schema, figure1_profile())
+        kinds = {node.kind for node in graph.nodes()}
+        assert kinds == {"relation", "attribute", "value"}
+        value_nodes = [n for n in graph.nodes() if n.kind == "value"]
+        assert len(value_nodes) == 2  # 'musical' and 'W. Allen'
+
+    def test_adjacency_for_join(self, movie_db):
+        graph = PersonalizationGraph(movie_db.schema, figure1_profile())
+        join = JoinCondition("MOVIE", "mid", "GENRE", "mid")
+        adjacent = graph.adjacent_to_join(join)
+        assert len(adjacent) == 1
+        assert adjacent[0].condition == SelectionCondition("GENRE", "genre", "musical")
+
+    def test_relations_with_preferences(self, movie_db):
+        graph = PersonalizationGraph(movie_db.schema, figure1_profile())
+        assert graph.relations_with_preferences() == ["DIRECTOR", "GENRE", "MOVIE"]

@@ -1,0 +1,139 @@
+"""Tests for AST node invariants and SQL rendering."""
+
+import pytest
+
+from repro.sql.ast_nodes import (
+    ColumnRef,
+    Comparison,
+    GroupByHavingCount,
+    Literal,
+    Operator,
+    SelectQuery,
+    TableRef,
+    UnionAllQuery,
+)
+from repro.sql.parser import parse_select
+from repro.sql.printer import to_sql
+
+
+class TestOperatorEvaluate:
+    def test_equality(self):
+        assert Operator.EQ.evaluate(1, 1)
+        assert not Operator.EQ.evaluate(1, 2)
+
+    def test_ordering(self):
+        assert Operator.LT.evaluate(1, 2)
+        assert Operator.LE.evaluate(2, 2)
+        assert Operator.GT.evaluate(3, 2)
+        assert Operator.GE.evaluate(2, 2)
+        assert Operator.NE.evaluate(1, 2)
+
+    def test_null_never_satisfies(self):
+        for op in Operator:
+            assert not op.evaluate(None, 1)
+            assert not op.evaluate(1, None)
+
+
+class TestNodeInvariants:
+    def test_query_requires_from(self):
+        with pytest.raises(ValueError):
+            SelectQuery(select=(), from_tables=())
+
+    def test_union_requires_subqueries(self):
+        with pytest.raises(ValueError):
+            UnionAllQuery(subqueries=())
+
+    def test_union_arity_check(self):
+        q1 = parse_select("select title from MOVIE")
+        q2 = parse_select("select title, year from MOVIE")
+        with pytest.raises(ValueError):
+            UnionAllQuery(subqueries=(q1, q2))
+
+    def test_having_count_bounds(self):
+        q = parse_select("select title from MOVIE")
+        union = UnionAllQuery(subqueries=(q,))
+        with pytest.raises(ValueError):
+            GroupByHavingCount(source=union, group_by=("title",), count_equals=0)
+        with pytest.raises(ValueError):
+            GroupByHavingCount(source=union, group_by=("title",), count_equals=2)
+
+    def test_selection_vs_join_classification(self):
+        query = parse_select(
+            "select title from MOVIE M, GENRE G "
+            "where M.mid = G.mid and G.genre = 'musical'"
+        )
+        assert len(query.joins) == 1
+        assert len(query.selections) == 1
+
+    def test_with_extra_appends(self):
+        query = parse_select("select title from MOVIE")
+        extended = query.with_extra(
+            tables=(TableRef("GENRE"),),
+            conditions=(
+                Comparison(ColumnRef("mid", "MOVIE"), Operator.EQ, ColumnRef("mid", "GENRE")),
+            ),
+        )
+        assert extended.relation_names == ["MOVIE", "GENRE"]
+        assert len(extended.where) == 1
+        # Original untouched (immutability).
+        assert query.relation_names == ["MOVIE"]
+
+    def test_binding_lookup(self):
+        query = parse_select("select title from MOVIE M")
+        assert query.binding("M").relation == "MOVIE"
+        assert query.binding("MOVIE") is None
+
+
+class TestPrinter:
+    def test_roundtrip_simple(self):
+        text = "select title from MOVIE"
+        assert to_sql(parse_select(text)) == text
+
+    def test_roundtrip_full(self):
+        text = (
+            "select title from MOVIE M, DIRECTOR D "
+            "where M.did = D.did and D.name = 'W. Allen'"
+        )
+        assert to_sql(parse_select(text)) == text
+
+    def test_distinct_rendered(self):
+        assert to_sql(parse_select("select distinct title from MOVIE")).startswith(
+            "select distinct"
+        )
+
+    def test_star_rendered(self):
+        assert to_sql(parse_select("select * from MOVIE")) == "select * from MOVIE"
+
+    def test_string_escaping(self):
+        query = parse_select("select title from MOVIE where title = 'O''Brien'")
+        assert "'O''Brien'" in to_sql(query)
+
+    def test_paper_personalized_form(self):
+        # Section 4.2's final query shape.
+        q1 = parse_select(
+            "select distinct title from MOVIE M, DIRECTOR D "
+            "where M.did = D.did and D.name = 'W. Allen'"
+        )
+        q2 = parse_select(
+            "select distinct title from MOVIE M, GENRE G "
+            "where M.mid = G.mid and G.genre = 'musical'"
+        )
+        wrapped = GroupByHavingCount(
+            source=UnionAllQuery(subqueries=(q1, q2)),
+            group_by=("title",),
+            count_equals=2,
+        )
+        text = to_sql(wrapped)
+        assert text.startswith("select title from (")
+        assert "union all" in text
+        assert text.endswith("group by title having count(*) = 2")
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(TypeError):
+            to_sql("not a query")  # type: ignore[arg-type]
+
+    def test_parse_roundtrip_is_stable(self):
+        text = "select title from MOVIE where year >= 1990 and duration <= 120"
+        once = to_sql(parse_select(text))
+        twice = to_sql(parse_select(once))
+        assert once == twice

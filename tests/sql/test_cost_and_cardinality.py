@@ -1,0 +1,126 @@
+"""Tests for the cost model (Section 7.1) and cardinality estimation."""
+
+import pytest
+
+from repro.sql.ast_nodes import GroupByHavingCount, Operator, UnionAllQuery
+from repro.sql.cardinality import CardinalityEstimator
+from repro.sql.cost import CostModel
+from repro.sql.executor import Executor
+from repro.sql.parser import parse_select
+
+
+class TestCostModel:
+    def test_single_table_cost_is_blocks_times_b(self, movie_db):
+        model = CostModel(movie_db)
+        query = parse_select("select title from MOVIE")
+        assert model.blocks(query) == movie_db.blocks("MOVIE")
+        assert model.cost_ms(query) == movie_db.blocks("MOVIE") * 1.0
+
+    def test_join_cost_sums_relations(self, movie_db):
+        model = CostModel(movie_db)
+        query = parse_select(
+            "select title from MOVIE M, DIRECTOR D where M.did = D.did"
+        )
+        assert model.blocks(query) == movie_db.blocks("MOVIE") + movie_db.blocks("DIRECTOR")
+
+    def test_selections_do_not_change_cost(self, movie_db):
+        # No indexes: a filtered scan reads every block (Section 7.1).
+        model = CostModel(movie_db)
+        plain = parse_select("select title from MOVIE")
+        filtered = parse_select("select title from MOVIE where year >= 1990")
+        assert model.cost_ms(plain) == model.cost_ms(filtered)
+
+    def test_union_cost_is_sum(self, movie_db):
+        model = CostModel(movie_db)
+        q1 = parse_select("select title from MOVIE")
+        q2 = parse_select("select title from MOVIE M, GENRE G where M.mid = G.mid")
+        union = UnionAllQuery(subqueries=(q1, q2))
+        assert model.cost_ms(union) == model.cost_ms(q1) + model.cost_ms(q2)
+
+    def test_groupby_wrapper_is_free(self, movie_db):
+        model = CostModel(movie_db)
+        q1 = parse_select("select title from MOVIE")
+        union = UnionAllQuery(subqueries=(q1,))
+        wrapped = GroupByHavingCount(source=union, group_by=("title",), count_equals=1)
+        assert model.cost_ms(wrapped) == model.cost_ms(union)
+
+    def test_estimate_matches_measured_io(self, movie_db):
+        # Figure 15's premise: the formula prices exactly the block scans.
+        model = CostModel(movie_db)
+        executor = Executor(movie_db, shared_scans=False)
+        query = parse_select(
+            "select title from MOVIE M, GENRE G where M.mid = G.mid"
+        )
+        assert executor.execute(query).io_ms == pytest.approx(model.cost_ms(query))
+
+
+class TestCardinality:
+    def test_full_scan_estimate(self, movie_db):
+        estimator = CardinalityEstimator(movie_db)
+        query = parse_select("select title from MOVIE")
+        assert estimator.estimate(query) == len(movie_db.table("MOVIE"))
+
+    def test_equality_selection_shrinks(self, movie_db):
+        estimator = CardinalityEstimator(movie_db)
+        plain = parse_select("select title from MOVIE")
+        filtered = parse_select("select title from MOVIE where year = 1990")
+        assert estimator.estimate(filtered) < estimator.estimate(plain)
+
+    def test_range_estimate_tracks_actual(self, movie_db):
+        estimator = CardinalityEstimator(movie_db)
+        query = parse_select("select title from MOVIE where year >= 1990")
+        estimate = estimator.estimate(query)
+        actual = len(Executor(movie_db).execute(query))
+        assert estimate == pytest.approx(actual, rel=0.35)
+
+    def test_fk_join_estimate_close_to_actual(self, movie_db):
+        estimator = CardinalityEstimator(movie_db)
+        query = parse_select(
+            "select title from MOVIE M, DIRECTOR D where M.did = D.did"
+        )
+        estimate = estimator.estimate(query)
+        actual = len(Executor(movie_db).execute(query))
+        assert estimate == pytest.approx(actual, rel=0.35)
+
+    def test_union_estimate_is_sum(self, movie_db):
+        estimator = CardinalityEstimator(movie_db)
+        q = parse_select("select title from MOVIE")
+        union = UnionAllQuery(subqueries=(q, q))
+        assert estimator.estimate(union) == 2 * estimator.estimate(q)
+
+    def test_intersection_bounded_by_smallest(self, movie_db):
+        estimator = CardinalityEstimator(movie_db)
+        q1 = parse_select("select title from MOVIE")
+        q2 = parse_select("select title from MOVIE where year >= 1990")
+        wrapped = GroupByHavingCount(
+            source=UnionAllQuery(subqueries=(q1, q2)),
+            group_by=("title",),
+            count_equals=2,
+        )
+        assert estimator.estimate(wrapped) <= estimator.estimate(q2)
+
+    def test_selection_selectivity_operators(self, movie_db):
+        estimator = CardinalityEstimator(movie_db)
+        eq = estimator.selection_selectivity("GENRE", "genre", Operator.EQ, "drama")
+        ne = estimator.selection_selectivity("GENRE", "genre", Operator.NE, "drama")
+        assert 0.0 < eq < 1.0
+        assert ne == pytest.approx(1.0 - eq)
+
+    def test_missing_value_selectivity_zero(self, movie_db):
+        estimator = CardinalityEstimator(movie_db)
+        assert estimator.selection_selectivity(
+            "GENRE", "genre", Operator.EQ, "no-such-genre"
+        ) == 0.0
+
+    def test_reduction_factor_clamped(self, movie_db):
+        # A pure FK join adds |R| x (1/|R|) = 1.0; the clamp guarantees
+        # the factor never exceeds 1 so Formula (8) holds exactly.
+        estimator = CardinalityEstimator(movie_db)
+        query = parse_select("select title from MOVIE")
+        from repro.sql.ast_nodes import ColumnRef, Comparison
+
+        join = Comparison(
+            ColumnRef("mid", "MOVIE"), Operator.EQ, ColumnRef("mid", "GENRE")
+        )
+        factor = estimator.reduction_factor(query, ["GENRE"], [join])
+        assert 0.0 <= factor <= 1.0

@@ -1,0 +1,121 @@
+"""Tests for ORDER BY / LIMIT (the top-k-contrast extension)."""
+
+import pytest
+
+from repro.errors import BindError, ParseError
+from repro.sql.ast_nodes import ColumnRef, OrderItem, SelectQuery, TableRef
+from repro.sql.executor import Executor
+from repro.sql.parser import parse_select
+from repro.sql.printer import to_sql
+from repro.storage.database import Database
+from repro.storage.datatypes import DataType
+from repro.storage.schema import Attribute, Relation, Schema
+
+
+@pytest.fixture()
+def scores_db():
+    schema = Schema()
+    schema.add_relation(
+        Relation(
+            "S",
+            [
+                Attribute("name", DataType.STRING, width=8),
+                Attribute("score", DataType.INTEGER),
+            ],
+        )
+    )
+    db = Database(schema)
+    db.load("S", [("a", 3), ("b", 1), ("c", 2), ("d", None), ("e", 2)])
+    db.analyze()
+    return db
+
+
+class TestParsing:
+    def test_order_by_single(self):
+        query = parse_select("select name from S order by name")
+        assert query.order_by == (OrderItem(ColumnRef("name")),)
+
+    def test_order_by_desc_and_multiple(self):
+        query = parse_select("select name, score from S order by score desc, name asc")
+        assert query.order_by[0].descending
+        assert not query.order_by[1].descending
+
+    def test_limit(self):
+        assert parse_select("select name from S limit 3").limit == 3
+
+    def test_order_by_with_limit(self):
+        query = parse_select("select name from S order by name desc limit 2")
+        assert query.limit == 2 and query.order_by
+
+    def test_limit_requires_integer(self):
+        with pytest.raises(ParseError):
+            parse_select("select name from S limit 2.5")
+        with pytest.raises(ParseError):
+            parse_select("select name from S limit many")
+
+    def test_negative_limit_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            SelectQuery(
+                select=(ColumnRef("name"),),
+                from_tables=(TableRef("S"),),
+                limit=-1,
+            )
+
+    def test_roundtrip_through_printer(self):
+        text = "select name, score from S order by score desc, name limit 2"
+        assert to_sql(parse_select(text)) == text
+
+
+class TestExecution:
+    def test_order_ascending_nulls_last(self, scores_db):
+        result = Executor(scores_db).execute(
+            parse_select("select name, score from S order by score")
+        )
+        assert [r[0] for r in result.rows] == ["b", "c", "e", "a", "d"]
+
+    def test_order_descending(self, scores_db):
+        result = Executor(scores_db).execute(
+            parse_select("select name, score from S order by score desc, name desc")
+        )
+        assert [r[0] for r in result.rows][:4] == ["d", "a", "e", "c"]
+
+    def test_multi_key_stability(self, scores_db):
+        result = Executor(scores_db).execute(
+            parse_select("select name, score from S order by score, name")
+        )
+        # score 2 appears twice: c before e by the secondary key.
+        names = [r[0] for r in result.rows]
+        assert names.index("c") < names.index("e")
+
+    def test_limit_truncates(self, scores_db):
+        result = Executor(scores_db).execute(
+            parse_select("select name from S order by name limit 2")
+        )
+        assert [r[0] for r in result.rows] == ["a", "b"]
+
+    def test_limit_zero(self, scores_db):
+        result = Executor(scores_db).execute(parse_select("select name from S limit 0"))
+        assert result.rows == []
+
+    def test_limit_larger_than_result(self, scores_db):
+        result = Executor(scores_db).execute(parse_select("select name from S limit 99"))
+        assert len(result.rows) == 5
+
+    def test_order_on_star_projection(self, scores_db):
+        result = Executor(scores_db).execute(parse_select("select * from S order by name desc"))
+        assert result.rows[0][0] == "e"
+
+    def test_order_by_unprojected_column_rejected(self, scores_db):
+        with pytest.raises(BindError):
+            Executor(scores_db).execute(
+                parse_select("select name from S order by score")
+            )
+
+
+class TestEstimation:
+    def test_limit_caps_estimate(self, scores_db):
+        from repro.sql.cardinality import CardinalityEstimator
+
+        estimator = CardinalityEstimator(scores_db)
+        assert estimator.estimate(parse_select("select name from S limit 2")) == 2.0
+        assert estimator.estimate(parse_select("select name from S")) == 5.0

@@ -1,0 +1,131 @@
+"""Tests for the SPJ parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql.ast_nodes import ColumnRef, Literal, Operator
+from repro.sql.parser import parse_select
+
+
+class TestBasicParsing:
+    def test_minimal_query(self):
+        query = parse_select("select title from MOVIE")
+        assert [c.name for c in query.select] == ["title"]
+        assert query.relation_names == ["MOVIE"]
+        assert query.where == ()
+        assert not query.distinct
+
+    def test_star_projection(self):
+        query = parse_select("select * from MOVIE")
+        assert query.select == ()
+
+    def test_distinct(self):
+        assert parse_select("select distinct title from MOVIE").distinct
+
+    def test_multiple_columns(self):
+        query = parse_select("select title, year from MOVIE")
+        assert [c.name for c in query.select] == ["title", "year"]
+
+    def test_qualified_column(self):
+        query = parse_select("select M.title from MOVIE M")
+        assert query.select[0] == ColumnRef(name="title", qualifier="M")
+
+    def test_alias(self):
+        query = parse_select("select title from MOVIE M")
+        assert query.from_tables[0].relation == "MOVIE"
+        assert query.from_tables[0].alias == "M"
+        assert query.from_tables[0].binding_name == "M"
+
+    def test_multiple_tables(self):
+        query = parse_select("select title from MOVIE M, DIRECTOR D")
+        assert query.relation_names == ["MOVIE", "DIRECTOR"]
+
+    def test_keywords_case_insensitive(self):
+        query = parse_select("SELECT title FROM MOVIE WHERE year >= 1990")
+        assert len(query.where) == 1
+
+
+class TestWhereClause:
+    def test_string_literal(self):
+        query = parse_select("select title from MOVIE where title = 'Brazil'")
+        condition = query.where[0]
+        assert condition.right == Literal("Brazil")
+        assert condition.op is Operator.EQ
+
+    def test_escaped_quote_in_string(self):
+        query = parse_select("select title from MOVIE where title = 'O''Brien'")
+        assert query.where[0].right == Literal("O'Brien")
+
+    def test_integer_literal(self):
+        query = parse_select("select title from MOVIE where year = 1999")
+        assert query.where[0].right == Literal(1999)
+
+    def test_float_literal(self):
+        query = parse_select("select title from MOVIE where duration = 1.5")
+        assert query.where[0].right == Literal(1.5)
+
+    @pytest.mark.parametrize(
+        "op_text,operator",
+        [
+            ("=", Operator.EQ),
+            ("<>", Operator.NE),
+            ("!=", Operator.NE),
+            ("<", Operator.LT),
+            ("<=", Operator.LE),
+            (">", Operator.GT),
+            (">=", Operator.GE),
+        ],
+    )
+    def test_operators(self, op_text, operator):
+        query = parse_select("select title from MOVIE where year %s 1990" % op_text)
+        assert query.where[0].op is operator
+
+    def test_join_condition(self):
+        query = parse_select(
+            "select title from MOVIE M, DIRECTOR D where M.did = D.did"
+        )
+        condition = query.where[0]
+        assert condition.is_join
+        assert condition.right == ColumnRef(name="did", qualifier="D")
+
+    def test_conjunction(self):
+        query = parse_select(
+            "select title from MOVIE where year >= 1990 and duration <= 120"
+        )
+        assert len(query.where) == 2
+
+    def test_paper_example(self):
+        # The exact sub-query of Section 4.2.
+        query = parse_select(
+            "select title from MOVIE M, DIRECTOR D "
+            "where M.did = D.did and D.name = 'W. Allen'"
+        )
+        assert len(query.where) == 2
+        assert query.where[0].is_join
+        assert query.where[1].is_selection
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "select",
+            "select from MOVIE",
+            "select title",
+            "select title from",
+            "select title from MOVIE where",
+            "select title from MOVIE where year",
+            "select title from MOVIE where year >=",
+            "select title from MOVIE trailing garbage =",
+            "select title, from MOVIE",
+            "select title from MOVIE where year ~ 1990",
+        ],
+    )
+    def test_malformed_queries(self, text):
+        with pytest.raises(ParseError):
+            parse_select(text)
+
+    def test_keyword_as_identifier_rejected(self):
+        with pytest.raises(ParseError):
+            parse_select("select select from MOVIE")

@@ -1,0 +1,107 @@
+"""Tests for CSV import/export."""
+
+import pytest
+
+from repro.datasets.movies import MovieDatasetConfig, build_movie_database, movie_schema
+from repro.errors import StorageError
+from repro.storage.csvio import load_database, save_database
+
+TINY = MovieDatasetConfig(n_movies=50, n_directors=10, n_actors=20, cast_per_movie=2)
+
+
+@pytest.fixture()
+def round_trip_dir(tmp_path):
+    database = build_movie_database(TINY, seed=9)
+    save_database(database, tmp_path)
+    return database, tmp_path
+
+
+class TestRoundTrip:
+    def test_files_written_per_relation(self, round_trip_dir):
+        database, directory = round_trip_dir
+        files = {p.name for p in directory.glob("*.csv")}
+        assert files == {"%s.csv" % n for n in database.relation_names}
+
+    def test_rows_survive(self, round_trip_dir):
+        database, directory = round_trip_dir
+        reloaded = load_database(movie_schema(), directory)
+        for name in database.relation_names:
+            assert reloaded.table(name).rows() == database.table(name).rows()
+
+    def test_reloaded_database_is_analyzed(self, round_trip_dir):
+        _, directory = round_trip_dir
+        reloaded = load_database(movie_schema(), directory)
+        assert reloaded.analyzed
+
+    def test_reload_skipping_analysis(self, round_trip_dir):
+        _, directory = round_trip_dir
+        reloaded = load_database(movie_schema(), directory, analyze=False)
+        assert not reloaded.analyzed
+
+    def test_nulls_round_trip(self, tmp_path):
+        from repro.storage.database import Database
+        from repro.storage.datatypes import DataType
+        from repro.storage.schema import Attribute, Relation, Schema
+
+        schema = Schema()
+        schema.add_relation(
+            Relation("T", [Attribute("a", DataType.INTEGER), Attribute("b", DataType.STRING)])
+        )
+        database = Database(schema)
+        database.insert("T", (1, None))
+        database.insert("T", (None, "x"))
+        save_database(database, tmp_path)
+        reloaded = load_database(schema, tmp_path, check_integrity=False, analyze=False)
+        assert reloaded.table("T").rows() == [(1, None), (None, "x")]
+
+
+class TestLoadErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(StorageError, match="missing CSV"):
+            load_database(movie_schema(), tmp_path)
+
+    def test_header_mismatch(self, round_trip_dir):
+        _, directory = round_trip_dir
+        movie_csv = directory / "MOVIE.csv"
+        lines = movie_csv.read_text().splitlines()
+        lines[0] = "wrong,header,entirely,bad,nope"
+        movie_csv.write_text("\n".join(lines) + "\n")
+        with pytest.raises(StorageError, match="header mismatch"):
+            load_database(movie_schema(), directory)
+
+    def test_bad_field_type(self, round_trip_dir):
+        _, directory = round_trip_dir
+        movie_csv = directory / "MOVIE.csv"
+        lines = movie_csv.read_text().splitlines()
+        fields = lines[1].split(",")
+        fields[0] = "not-a-number"
+        lines[1] = ",".join(fields)
+        movie_csv.write_text("\n".join(lines) + "\n")
+        with pytest.raises(StorageError, match="cannot parse"):
+            load_database(movie_schema(), directory)
+
+    def test_wrong_arity_row(self, round_trip_dir):
+        _, directory = round_trip_dir
+        director_csv = directory / "DIRECTOR.csv"
+        with open(director_csv, "a", newline="") as handle:
+            handle.write("1,extra,field\n")
+        with pytest.raises(StorageError, match="expected 2 fields"):
+            load_database(movie_schema(), directory)
+
+    def test_integrity_checked_on_load(self, round_trip_dir):
+        _, directory = round_trip_dir
+        genre_csv = directory / "GENRE.csv"
+        with open(genre_csv, "a", newline="") as handle:
+            handle.write("999999,drama\n")  # dangling movie id
+        from repro.errors import IntegrityError
+
+        with pytest.raises(IntegrityError):
+            load_database(movie_schema(), directory)
+
+    def test_integrity_check_can_be_skipped(self, round_trip_dir):
+        _, directory = round_trip_dir
+        genre_csv = directory / "GENRE.csv"
+        with open(genre_csv, "a", newline="") as handle:
+            handle.write("999999,drama\n")
+        reloaded = load_database(movie_schema(), directory, check_integrity=False)
+        assert len(reloaded.table("GENRE")) > 0

@@ -1,0 +1,105 @@
+"""Tests for the database catalog."""
+
+import pytest
+
+from repro.errors import IntegrityError, SchemaError, StorageError
+from repro.storage.database import Database
+from repro.storage.datatypes import DataType
+from repro.storage.schema import Attribute, ForeignKey, Relation, Schema
+
+
+def two_table_schema():
+    schema = Schema()
+    schema.add_relation(
+        Relation(
+            "CHILD",
+            [Attribute("id", DataType.INTEGER), Attribute("parent_id", DataType.INTEGER)],
+            primary_key="id",
+        )
+    )
+    schema.add_relation(
+        Relation("PARENT", [Attribute("id", DataType.INTEGER)], primary_key="id")
+    )
+    schema.add_foreign_key(ForeignKey("CHILD", "parent_id", "PARENT", "id"))
+    return schema
+
+
+class TestCatalog:
+    def test_tables_created_per_relation(self):
+        db = Database(two_table_schema())
+        assert db.relation_names == ["CHILD", "PARENT"]
+
+    def test_unknown_table_raises(self):
+        db = Database(two_table_schema())
+        with pytest.raises(SchemaError):
+            db.table("GHOST")
+
+    def test_insert_and_load(self):
+        db = Database(two_table_schema())
+        db.insert("PARENT", (1,))
+        assert db.load("CHILD", [(1, 1), (2, 1)]) == 2
+        assert len(db.table("CHILD")) == 2
+
+    def test_blocks_shortcut(self):
+        db = Database(two_table_schema())
+        db.load("PARENT", [(i,) for i in range(10)])
+        assert db.blocks("PARENT") == db.table("PARENT").block_count
+
+
+class TestReferentialIntegrity:
+    def test_clean_database_passes(self):
+        db = Database(two_table_schema())
+        db.insert("PARENT", (1,))
+        db.insert("CHILD", (10, 1))
+        db.check_referential_integrity()
+
+    def test_dangling_fk_detected(self):
+        db = Database(two_table_schema())
+        db.insert("PARENT", (1,))
+        db.insert("CHILD", (10, 99))
+        with pytest.raises(IntegrityError) as excinfo:
+            db.check_referential_integrity()
+        assert "99" in str(excinfo.value)
+
+    def test_null_fk_allowed(self):
+        db = Database(two_table_schema())
+        db.insert("CHILD", (10, None))
+        db.check_referential_integrity()
+
+
+class TestStatistics:
+    def test_statistics_require_analyze(self):
+        db = Database(two_table_schema())
+        db.insert("PARENT", (1,))
+        with pytest.raises(StorageError):
+            db.statistics("PARENT")
+
+    def test_analyze_all(self):
+        db = Database(two_table_schema())
+        db.insert("PARENT", (1,))
+        db.analyze()
+        assert db.analyzed
+        assert db.statistics("PARENT").row_count == 1
+
+    def test_analyze_one(self):
+        db = Database(two_table_schema())
+        db.analyze("PARENT")
+        assert not db.analyzed  # CHILD not analyzed yet
+        assert db.statistics("PARENT").row_count == 0
+
+    def test_statistics_unknown_relation(self):
+        db = Database(two_table_schema())
+        with pytest.raises(SchemaError):
+            db.statistics("GHOST")
+
+
+class TestForeignKeyLookup:
+    def test_between_either_direction(self):
+        db = Database(two_table_schema())
+        fk = db.foreign_key_between("CHILD", "PARENT")
+        assert fk is not None
+        assert db.foreign_key_between("PARENT", "CHILD") is fk
+
+    def test_missing_pair(self):
+        db = Database(two_table_schema())
+        assert db.foreign_key_between("CHILD", "CHILD") is None

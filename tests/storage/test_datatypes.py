@@ -1,0 +1,74 @@
+"""Tests for the storage type system."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.datatypes import (
+    DEFAULT_STRING_WIDTH,
+    DataType,
+    coerce_value,
+    value_width,
+)
+
+
+class TestCoerceValue:
+    def test_integer_passes_through(self):
+        assert coerce_value(DataType.INTEGER, 42) == 42
+
+    def test_integer_rejects_float(self):
+        with pytest.raises(StorageError):
+            coerce_value(DataType.INTEGER, 4.2)
+
+    def test_integer_rejects_bool(self):
+        # bool is a subclass of int but is not a storable integer.
+        with pytest.raises(StorageError):
+            coerce_value(DataType.INTEGER, True)
+
+    def test_integer_rejects_string(self):
+        with pytest.raises(StorageError):
+            coerce_value(DataType.INTEGER, "42")
+
+    def test_float_accepts_int_widening(self):
+        value = coerce_value(DataType.FLOAT, 3)
+        assert value == 3.0
+        assert isinstance(value, float)
+
+    def test_float_rejects_bool(self):
+        with pytest.raises(StorageError):
+            coerce_value(DataType.FLOAT, False)
+
+    def test_float_rejects_string(self):
+        with pytest.raises(StorageError):
+            coerce_value(DataType.FLOAT, "3.0")
+
+    def test_string_passes_through(self):
+        assert coerce_value(DataType.STRING, "musical") == "musical"
+
+    def test_string_rejects_number(self):
+        with pytest.raises(StorageError):
+            coerce_value(DataType.STRING, 5)
+
+    def test_none_passes_through_every_type(self):
+        for data_type in DataType:
+            assert coerce_value(data_type, None) is None
+
+
+class TestValueWidth:
+    def test_fixed_widths(self):
+        assert value_width(DataType.INTEGER) == 8
+        assert value_width(DataType.FLOAT) == 8
+
+    def test_string_default_width(self):
+        assert value_width(DataType.STRING) == DEFAULT_STRING_WIDTH
+
+    def test_string_declared_width(self):
+        assert value_width(DataType.STRING, 16) == 16
+
+    def test_string_rejects_non_positive_width(self):
+        with pytest.raises(StorageError):
+            value_width(DataType.STRING, 0)
+
+    def test_python_type_mapping(self):
+        assert DataType.INTEGER.python_type is int
+        assert DataType.FLOAT.python_type is float
+        assert DataType.STRING.python_type is str

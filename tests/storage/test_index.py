@@ -1,0 +1,125 @@
+"""Tests for hash indexes and the index-aware access path."""
+
+import pytest
+
+from repro.errors import SchemaError, StorageError
+from repro.sql.cost import CostModel, IndexAwareCostModel
+from repro.sql.executor import Executor
+from repro.sql.parser import parse_select
+from repro.storage.database import Database
+from repro.storage.datatypes import DataType
+from repro.storage.index import HashIndex
+from repro.storage.schema import Attribute, Relation, Schema
+
+
+@pytest.fixture()
+def indexed_db():
+    schema = Schema()
+    schema.add_relation(
+        Relation(
+            "ITEMS",
+            [
+                Attribute("id", DataType.INTEGER),
+                Attribute("color", DataType.STRING, width=8),
+            ],
+            primary_key="id",
+        )
+    )
+    db = Database(schema, block_size=64)  # 4 rows per 16-byte row? -> small blocks
+    db.load("ITEMS", [(i, ["red", "blue", "green"][i % 3]) for i in range(60)])
+    db.analyze()
+    db.create_index("ITEMS", "color")
+    return db
+
+
+class TestHashIndex:
+    def test_lookup_matches_filter(self, indexed_db):
+        index = indexed_db.index_on("ITEMS", "color")
+        rows = index.lookup("red")
+        expected = [r for r in indexed_db.table("ITEMS") if r[1] == "red"]
+        assert rows == expected
+
+    def test_missing_value_empty(self, indexed_db):
+        assert indexed_db.index_on("ITEMS", "color").lookup("mauve") == []
+
+    def test_match_count(self, indexed_db):
+        assert indexed_db.index_on("ITEMS", "color").match_count("red") == 20
+
+    def test_lookup_blocks_accounting(self, indexed_db):
+        index = indexed_db.index_on("ITEMS", "color")
+        per_block = indexed_db.table("ITEMS").rows_per_block
+        assert index.lookup_blocks("red") == 1 + -(-20 // per_block)
+        assert index.lookup_blocks("mauve") == 1
+
+    def test_stale_index_detected(self, indexed_db):
+        index = indexed_db.index_on("ITEMS", "color")
+        indexed_db.insert("ITEMS", (999, "red"))
+        with pytest.raises(StorageError, match="stale"):
+            index.lookup("red")
+
+    def test_unknown_attribute_rejected(self, indexed_db):
+        with pytest.raises(SchemaError):
+            indexed_db.create_index("ITEMS", "ghost")
+
+    def test_nulls_not_indexed(self):
+        schema = Schema()
+        schema.add_relation(Relation("T", [Attribute("a", DataType.INTEGER)]))
+        db = Database(schema)
+        db.load("T", [(1,), (None,), (1,)])
+        index = db.create_index("T", "a")
+        assert index.match_count(1) == 2
+        assert index.match_count(None) == 0
+
+
+class TestIndexedExecution:
+    QUERY = "select id from ITEMS where color = 'red'"
+
+    def test_same_rows_with_and_without_index(self, indexed_db):
+        plain = Executor(indexed_db, use_indexes=False).execute(parse_select(self.QUERY))
+        indexed = Executor(indexed_db, use_indexes=True).execute(parse_select(self.QUERY))
+        assert sorted(plain.rows) == sorted(indexed.rows)
+
+    def test_index_reads_fewer_blocks(self, indexed_db):
+        plain = Executor(indexed_db, use_indexes=False).execute(parse_select(self.QUERY))
+        indexed = Executor(indexed_db, use_indexes=True).execute(parse_select(self.QUERY))
+        assert indexed.blocks_read < plain.blocks_read
+
+    def test_non_equality_falls_back_to_scan(self, indexed_db):
+        query = parse_select("select id from ITEMS where color <> 'red'")
+        plain = Executor(indexed_db, use_indexes=False).execute(query)
+        indexed = Executor(indexed_db, use_indexes=True).execute(query)
+        assert indexed.blocks_read == plain.blocks_read
+
+    def test_unindexed_attribute_falls_back(self, indexed_db):
+        query = parse_select("select color from ITEMS where id = 7")
+        plain = Executor(indexed_db, use_indexes=False).execute(query)
+        indexed = Executor(indexed_db, use_indexes=True).execute(query)
+        assert indexed.blocks_read == plain.blocks_read
+        assert sorted(indexed.rows) == sorted(plain.rows)
+
+    def test_remaining_filters_still_applied(self, indexed_db):
+        query = parse_select("select id from ITEMS where color = 'red' and id <= 10")
+        result = Executor(indexed_db, use_indexes=True).execute(query)
+        assert all(row[0] <= 10 for row in result.rows)
+
+
+class TestIndexAwareCostModel:
+    QUERY = "select id from ITEMS where color = 'red'"
+
+    def test_cheaper_than_full_scan(self, indexed_db):
+        query = parse_select(self.QUERY)
+        full = CostModel(indexed_db).cost_ms(query)
+        indexed = IndexAwareCostModel(indexed_db).cost_ms(query)
+        assert indexed < full
+
+    def test_matches_measured_blocks(self, indexed_db):
+        query = parse_select(self.QUERY)
+        estimated = IndexAwareCostModel(indexed_db).blocks(query)
+        measured = Executor(indexed_db, use_indexes=True).execute(query).blocks_read
+        assert estimated == measured
+
+    def test_no_index_degenerates_to_base_model(self, indexed_db):
+        query = parse_select("select color from ITEMS where id = 7")
+        assert IndexAwareCostModel(indexed_db).blocks(query) == CostModel(
+            indexed_db
+        ).blocks(query)

@@ -1,0 +1,71 @@
+"""Tests for the block device and I/O metering."""
+
+import pytest
+
+from repro.storage.datatypes import DataType
+from repro.storage.iomodel import BlockDevice
+from repro.storage.schema import Attribute, Relation
+from repro.storage.table import Table
+
+
+def small_table(rows=5, block_size=64):
+    relation = Relation(
+        "R",
+        [Attribute("id", DataType.INTEGER), Attribute("pad", DataType.STRING, width=24)],
+    )
+    table = Table(relation, block_size=block_size)  # 2 rows per block
+    table.insert_many([(i, "x") for i in range(rows)])
+    return table
+
+
+class TestBlockDevice:
+    def test_scan_charges_per_block(self):
+        device = BlockDevice()
+        table = small_table(rows=5)  # 3 blocks
+        rows = list(device.scan(table))
+        assert len(rows) == 5
+        assert device.total_blocks_read == 3
+
+    def test_elapsed_uses_ms_per_block(self):
+        device = BlockDevice(ms_per_block=2.0)
+        list(device.scan(small_table(rows=4)))  # 2 blocks
+        assert device.total_elapsed_ms == 4.0
+
+    def test_rescans_are_recharged(self):
+        # No cross-scan caching: the paper's model reads from disk each time.
+        device = BlockDevice()
+        table = small_table(rows=4)
+        list(device.scan(table))
+        list(device.scan(table))
+        assert device.total_blocks_read == 4
+
+    def test_meter_captures_window(self):
+        device = BlockDevice()
+        table = small_table(rows=4)
+        list(device.scan(table))
+        with device.meter() as receipt:
+            list(device.scan(table))
+        assert receipt.blocks_read == 2
+        assert receipt.elapsed_ms == 2.0
+        assert device.total_blocks_read == 4
+
+    def test_nested_meters_both_count(self):
+        device = BlockDevice()
+        table = small_table(rows=4)
+        with device.meter() as outer:
+            list(device.scan(table))
+            with device.meter() as inner:
+                list(device.scan(table))
+        assert inner.blocks_read == 2
+        assert outer.blocks_read == 4
+
+    def test_invalid_ms_per_block(self):
+        with pytest.raises(ValueError):
+            BlockDevice(ms_per_block=0)
+
+    def test_partial_scan_charges_only_read_blocks(self):
+        device = BlockDevice()
+        table = small_table(rows=6)  # 3 blocks
+        iterator = device.scan(table)
+        next(iterator)  # first block read lazily
+        assert device.total_blocks_read == 1

@@ -1,0 +1,116 @@
+"""Tests for schema objects."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage.datatypes import DataType
+from repro.storage.schema import Attribute, ForeignKey, Relation, Schema
+
+
+def make_relation(name="R", primary_key=None):
+    return Relation(
+        name,
+        [
+            Attribute("id", DataType.INTEGER),
+            Attribute("label", DataType.STRING, width=16),
+        ],
+        primary_key=primary_key,
+    )
+
+
+class TestAttribute:
+    def test_byte_width_string(self):
+        assert Attribute("name", DataType.STRING, width=20).byte_width == 20
+
+    def test_byte_width_integer(self):
+        assert Attribute("id", DataType.INTEGER).byte_width == 8
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("bad name", DataType.INTEGER)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("", DataType.INTEGER)
+
+
+class TestRelation:
+    def test_row_width_sums_attributes(self):
+        assert make_relation().row_width == 8 + 16
+
+    def test_attribute_lookup(self):
+        relation = make_relation()
+        assert relation.attribute("id").data_type is DataType.INTEGER
+        assert relation.has_attribute("label")
+        assert not relation.has_attribute("missing")
+
+    def test_attribute_index(self):
+        relation = make_relation()
+        assert relation.attribute_index("id") == 0
+        assert relation.attribute_index("label") == 1
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(SchemaError):
+            make_relation().attribute("nope")
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation(
+                "R",
+                [Attribute("a", DataType.INTEGER), Attribute("a", DataType.INTEGER)],
+            )
+
+    def test_empty_relation_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("R", [])
+
+    def test_primary_key_must_exist(self):
+        with pytest.raises(SchemaError):
+            make_relation(primary_key="missing")
+
+    def test_invalid_relation_name(self):
+        with pytest.raises(SchemaError):
+            Relation("bad name", [Attribute("a", DataType.INTEGER)])
+
+
+class TestSchema:
+    def test_add_and_lookup(self):
+        schema = Schema()
+        schema.add_relation(make_relation("A"))
+        assert schema.has_relation("A")
+        assert schema.relation("A").name == "A"
+
+    def test_duplicate_relation_rejected(self):
+        schema = Schema()
+        schema.add_relation(make_relation("A"))
+        with pytest.raises(SchemaError):
+            schema.add_relation(make_relation("A"))
+
+    def test_unknown_relation_raises(self):
+        with pytest.raises(SchemaError):
+            Schema().relation("ghost")
+
+    def test_foreign_key_validation(self):
+        schema = Schema()
+        schema.add_relation(make_relation("A"))
+        schema.add_relation(make_relation("B"))
+        schema.add_foreign_key(ForeignKey("A", "id", "B", "id"))
+        with pytest.raises(SchemaError):
+            schema.add_foreign_key(ForeignKey("A", "ghost", "B", "id"))
+        with pytest.raises(SchemaError):
+            schema.add_foreign_key(ForeignKey("A", "id", "C", "id"))
+
+    def test_join_edges_queries(self):
+        schema = Schema()
+        for name in ("A", "B", "C"):
+            schema.add_relation(make_relation(name))
+        schema.add_foreign_key(ForeignKey("A", "id", "B", "id"))
+        schema.add_foreign_key(ForeignKey("C", "id", "A", "id"))
+        assert len(schema.join_edges_from("A")) == 1
+        assert len(schema.join_edges_touching("A")) == 2
+        assert sorted(schema.joined_relations("A")) == ["B", "C"]
+        assert schema.joined_relations("B") == ["A"]
+
+    def test_foreign_key_condition_text(self):
+        fk = ForeignKey("MOVIE", "did", "DIRECTOR", "did")
+        assert fk.as_condition() == "MOVIE.did = DIRECTOR.did"

@@ -1,0 +1,97 @@
+"""Tests for catalog statistics and selectivity estimation."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.datatypes import DataType
+from repro.storage.schema import Attribute, Relation
+from repro.storage.statistics import (
+    Histogram,
+    analyze_table,
+    estimate_join_size,
+    join_selectivity,
+)
+from repro.storage.table import Table
+
+
+def build_table(values, data_type=DataType.STRING, width=16):
+    relation = Relation("R", [Attribute("v", data_type, width=width if data_type is DataType.STRING else None)])
+    table = Table(relation)
+    table.insert_many([(v,) for v in values])
+    return table
+
+
+class TestAnalyze:
+    def test_basic_counts(self):
+        table = build_table(["a", "a", "b", None])
+        stats = analyze_table(table)
+        v = stats.attribute("v")
+        assert stats.row_count == 4
+        assert v.distinct_count == 2
+        assert v.null_count == 1
+
+    def test_frequencies_exact_for_small_domains(self):
+        stats = analyze_table(build_table(["a"] * 3 + ["b"]))
+        v = stats.attribute("v")
+        assert v.frequencies == {"a": 3, "b": 1}
+        assert v.equality_selectivity("a") == 0.75
+        assert v.equality_selectivity("zzz") == 0.0
+
+    def test_numeric_histogram_built(self):
+        stats = analyze_table(build_table(list(range(100)), data_type=DataType.INTEGER))
+        v = stats.attribute("v")
+        assert v.histogram is not None
+        assert v.min_value == 0
+        assert v.max_value == 99
+
+    def test_unknown_attribute_raises(self):
+        stats = analyze_table(build_table(["a"]))
+        with pytest.raises(StorageError):
+            stats.attribute("ghost")
+
+    def test_empty_table(self):
+        stats = analyze_table(build_table([]))
+        v = stats.attribute("v")
+        assert v.equality_selectivity("a") == 0.0
+        assert v.range_selectivity(0, 1) == 0.0
+
+
+class TestRangeSelectivity:
+    def test_full_range_is_one(self):
+        stats = analyze_table(build_table(list(range(100)), data_type=DataType.INTEGER))
+        v = stats.attribute("v")
+        assert v.range_selectivity(None, None) == pytest.approx(1.0)
+
+    def test_half_range(self):
+        stats = analyze_table(build_table(list(range(100)), data_type=DataType.INTEGER))
+        v = stats.attribute("v")
+        assert v.range_selectivity(None, 49) == pytest.approx(0.5, abs=0.1)
+
+    def test_out_of_range(self):
+        stats = analyze_table(build_table(list(range(100)), data_type=DataType.INTEGER))
+        v = stats.attribute("v")
+        assert v.range_selectivity(1000, None) == pytest.approx(0.0, abs=0.01)
+
+    def test_degenerate_single_value(self):
+        histogram = Histogram(low=5.0, high=5.0, counts=[10])
+        assert histogram.estimate_range(0, 10) == 10
+        assert histogram.estimate_range(6, 10) == 0.0
+
+
+class TestJoinSelectivity:
+    def test_one_over_max_distinct(self):
+        left = analyze_table(build_table(["a", "b", "c"])).attribute("v")
+        right = analyze_table(build_table(["a", "a", "b", "c", "d"])).attribute("v")
+        assert join_selectivity(left, right) == pytest.approx(1.0 / 4.0)
+
+    def test_empty_side_gives_zero(self):
+        left = analyze_table(build_table([])).attribute("v")
+        right = analyze_table(build_table(["a"])).attribute("v")
+        assert join_selectivity(left, right) == 0.0
+
+    def test_estimate_join_size(self):
+        left = analyze_table(build_table(["a", "b"]))
+        right = analyze_table(build_table(["a", "a", "b"]))
+        size, selectivity = estimate_join_size(left, "v", right, "v")
+        assert selectivity == pytest.approx(0.5)
+        assert size == pytest.approx(2 * 3 * 0.5)

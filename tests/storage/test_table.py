@@ -1,0 +1,107 @@
+"""Tests for heap-file tables and block accounting."""
+
+import math
+
+import pytest
+
+from repro.errors import IntegrityError, StorageError
+from repro.storage.datatypes import DataType
+from repro.storage.schema import Attribute, Relation
+from repro.storage.table import Table
+
+
+def make_table(primary_key=None, block_size=8192):
+    relation = Relation(
+        "R",
+        [
+            Attribute("id", DataType.INTEGER),
+            Attribute("name", DataType.STRING, width=24),
+        ],
+        primary_key=primary_key,
+    )
+    return Table(relation, block_size=block_size)
+
+
+class TestInsert:
+    def test_insert_and_iterate(self):
+        table = make_table()
+        table.insert((1, "a"))
+        table.insert((2, "b"))
+        assert len(table) == 2
+        assert list(table) == [(1, "a"), (2, "b")]
+
+    def test_insert_coerces_types(self):
+        table = make_table()
+        with pytest.raises(StorageError):
+            table.insert(("x", "a"))
+
+    def test_wrong_arity_rejected(self):
+        table = make_table()
+        with pytest.raises(StorageError):
+            table.insert((1,))
+
+    def test_insert_many(self):
+        table = make_table()
+        assert table.insert_many([(i, str(i)) for i in range(5)]) == 5
+        assert len(table) == 5
+
+    def test_primary_key_duplicate_rejected(self):
+        table = make_table(primary_key="id")
+        table.insert((1, "a"))
+        with pytest.raises(IntegrityError):
+            table.insert((1, "b"))
+
+    def test_primary_key_null_rejected(self):
+        table = make_table(primary_key="id")
+        with pytest.raises(IntegrityError):
+            table.insert((None, "a"))
+
+    def test_pk_lookup(self):
+        table = make_table(primary_key="id")
+        table.insert((7, "seven"))
+        assert table.lookup_pk(7) == (7, "seven")
+        assert table.lookup_pk(8) is None
+        assert table.has_pk(7)
+        assert not table.has_pk(8)
+
+    def test_pk_lookup_without_pk_raises(self):
+        table = make_table()
+        with pytest.raises(StorageError):
+            table.lookup_pk(1)
+
+    def test_column_extraction(self):
+        table = make_table()
+        table.insert_many([(1, "a"), (2, "b")])
+        assert table.column("name") == ["a", "b"]
+
+
+class TestBlocks:
+    def test_rows_per_block(self):
+        # 32-byte rows in 8192-byte blocks -> 256 rows per block.
+        table = make_table()
+        assert table.rows_per_block == 8192 // 32
+
+    def test_block_count_empty(self):
+        assert make_table().block_count == 0
+
+    def test_block_count_ceil(self):
+        table = make_table()
+        per_block = table.rows_per_block
+        table.insert_many([(i, "x") for i in range(per_block + 1)])
+        assert table.block_count == 2
+
+    def test_block_count_matches_formula(self):
+        table = make_table()
+        table.insert_many([(i, "x") for i in range(1000)])
+        assert table.block_count == math.ceil(1000 / table.rows_per_block)
+
+    def test_scan_blocks_partitions_rows(self):
+        table = make_table(block_size=64)  # 2 rows per 64-byte block
+        table.insert_many([(i, "x") for i in range(5)])
+        blocks = list(table.scan_blocks())
+        assert [len(b) for b in blocks] == [2, 2, 1]
+        assert sum(blocks, []) == table.rows()
+
+    def test_block_too_small_for_row(self):
+        with pytest.raises(StorageError):
+            make_table(block_size=16)

@@ -1,0 +1,144 @@
+"""Tests for shared utilities."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import SeededRNG, derive_seed, zipf_weights
+from repro.utils.tables import TextTable
+from repro.utils.timing import Stopwatch
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(7, "a", 1) == derive_seed(7, "a", 1)
+
+    def test_labels_matter(self):
+        assert derive_seed(7, "a") != derive_seed(7, "b")
+
+    def test_base_matters(self):
+        assert derive_seed(7, "a") != derive_seed(8, "a")
+
+
+class TestZipfWeights:
+    def test_sums_to_one(self):
+        assert zipf_weights(10, 1.0).sum() == pytest.approx(1.0)
+
+    def test_skew_zero_is_uniform(self):
+        weights = zipf_weights(4, 0.0)
+        assert np.allclose(weights, 0.25)
+
+    def test_monotone_decreasing(self):
+        weights = zipf_weights(10, 1.2)
+        assert all(weights[i] >= weights[i + 1] for i in range(9))
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+        with pytest.raises(ValueError):
+            zipf_weights(5, -1.0)
+
+
+class TestSeededRNG:
+    def test_reproducible_streams(self):
+        a, b = SeededRNG(42), SeededRNG(42)
+        assert [a.randint(0, 100) for _ in range(5)] == [
+            b.randint(0, 100) for _ in range(5)
+        ]
+
+    def test_children_are_independent(self):
+        rng = SeededRNG(42)
+        assert rng.child("x").randint(0, 10_000) != rng.child("y").randint(0, 10_000)
+
+    def test_randint_inclusive_bounds(self):
+        rng = SeededRNG(1)
+        draws = {rng.randint(0, 2) for _ in range(100)}
+        assert draws == {0, 1, 2}
+
+    def test_randint_empty_range(self):
+        with pytest.raises(ValueError):
+            SeededRNG(1).randint(5, 4)
+
+    def test_gauss_clamped_in_bounds(self):
+        rng = SeededRNG(1)
+        for _ in range(100):
+            value = rng.gauss_clamped(0.5, 10.0, 0.0, 1.0)
+            assert 0.0 <= value <= 1.0
+
+    def test_sample_distinct(self):
+        rng = SeededRNG(1)
+        sample = rng.sample(list(range(10)), 5)
+        assert len(set(sample)) == 5
+
+    def test_sample_too_large(self):
+        with pytest.raises(ValueError):
+            SeededRNG(1).sample([1, 2], 3)
+
+    def test_choice_empty(self):
+        with pytest.raises(ValueError):
+            SeededRNG(1).choice([])
+
+    def test_shuffled_preserves_multiset(self):
+        rng = SeededRNG(1)
+        items = [1, 2, 2, 3]
+        assert sorted(rng.shuffled(items)) == items
+
+
+class TestStopwatch:
+    def test_accumulates(self):
+        watch = Stopwatch()
+        with watch:
+            time.sleep(0.002)
+        first = watch.elapsed
+        with watch:
+            time.sleep(0.002)
+        assert watch.elapsed > first
+
+    def test_double_start_rejected(self):
+        watch = Stopwatch()
+        watch.start()
+        with pytest.raises(RuntimeError):
+            watch.start()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_reset(self):
+        watch = Stopwatch()
+        with watch:
+            pass
+        watch.reset()
+        assert watch.elapsed == 0.0
+
+
+class TestTextTable:
+    def test_renders_header_and_rows(self):
+        table = TextTable(["x", "y"])
+        table.add_row([1, 2.5])
+        text = table.render(title="t")
+        assert "t" in text
+        assert "x" in text and "y" in text
+        assert "2.500" in text
+
+    def test_row_arity_checked(self):
+        table = TextTable(["x"])
+        with pytest.raises(ValueError):
+            table.add_row([1, 2])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValueError):
+            TextTable([])
+
+    def test_tiny_floats_use_scientific(self):
+        table = TextTable(["x"], precision=3)
+        table.add_row([1e-9])
+        assert "e-09" in str(table)
+
+    def test_rows_copy(self):
+        table = TextTable(["x"])
+        table.add_row([1])
+        rows = table.rows
+        rows[0][0] = "mutated"
+        assert table.rows[0][0] == "1"

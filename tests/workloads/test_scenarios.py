@@ -1,0 +1,86 @@
+"""Tests for the scenario helpers the tests and benches build on."""
+
+import pytest
+
+from repro.errors import SearchError
+from repro.workloads.scenarios import (
+    FIGURE6_CMAX,
+    FIGURE6_COSTS,
+    FIGURE6_DOIS,
+    figure6_cost_space,
+    figure6_evaluator,
+    make_cost_space,
+    make_doi_space,
+    make_size_space,
+    make_synthetic_evaluator,
+    paper_example_query,
+    table2_evaluator,
+)
+
+
+class TestSyntheticEvaluator:
+    def test_resorts_by_doi(self):
+        evaluator = make_synthetic_evaluator([0.2, 0.9, 0.5], [1.0, 2.0, 3.0])
+        assert evaluator.doi_values == [0.9, 0.5, 0.2]
+        assert evaluator.cost_values == [2.0, 3.0, 1.0]
+
+    def test_default_sizes_neutral(self):
+        evaluator = make_synthetic_evaluator([0.5], [1.0], base_size=100.0)
+        assert evaluator.size((0,)) == pytest.approx(100.0)
+
+    def test_reductions_clamped(self):
+        evaluator = make_synthetic_evaluator(
+            [0.5], [1.0], sizes=[500.0], base_size=100.0
+        )
+        assert evaluator.reductions[0] == 1.0
+
+
+class TestSpaceFactories:
+    def test_cost_space_vector_order(self):
+        space = make_cost_space(table2_evaluator(), cmax=100)
+        costs = [space.evaluator.cost_values[i] for i in space.vector]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_doi_space_vector_order(self):
+        space = make_doi_space(table2_evaluator(), cmax=100)
+        dois = [space.evaluator.doi_values[i] for i in space.vector]
+        assert dois == sorted(dois, reverse=True)
+
+    def test_size_space_vector_order(self):
+        evaluator = make_synthetic_evaluator(
+            [0.5, 0.6, 0.7], [1.0, 1.0, 1.0], [10.0, 5.0, 20.0], base_size=100.0
+        )
+        space = make_size_space(evaluator, smin=1.0)
+        reductions = [evaluator.reductions[i] for i in space.vector]
+        assert reductions == sorted(reductions)
+
+    def test_size_space_smax_extra(self):
+        evaluator = make_synthetic_evaluator(
+            [0.5, 0.6], [1.0, 1.0], [10.0, 500.0], base_size=1000.0
+        )
+        space = make_size_space(evaluator, smin=1.0, smax=100.0)
+        assert space.has_extra
+
+    def test_table2_paper_vectors(self):
+        # D = {2,3,1}, C = {3,1,2}, S = {2,1,3} in the paper's 1-based
+        # original numbering; after the doi re-sort P = [p2, p3, p1], so
+        # C (desc cost 12,10,5) = [p3, p1, p2] = indices [1, 2, 0].
+        evaluator = table2_evaluator()
+        cost_space = make_cost_space(evaluator, cmax=100)
+        assert cost_space.vector == (1, 2, 0)
+        size_space = make_size_space(evaluator, smin=0.1)
+        assert size_space.vector == (0, 2, 1)  # sizes 2, 3, 10
+
+
+class TestFigure6Instance:
+    def test_constants_consistent(self):
+        assert len(FIGURE6_DOIS) == len(FIGURE6_COSTS) == 5
+        evaluator = figure6_evaluator()
+        assert evaluator.cost_values == sorted(evaluator.cost_values, reverse=True)
+
+    def test_space_limit(self):
+        assert figure6_cost_space().limit == FIGURE6_CMAX
+
+    def test_paper_query(self):
+        query = paper_example_query()
+        assert query.relation_names == ["MOVIE"]

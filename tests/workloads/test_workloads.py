@@ -1,0 +1,74 @@
+"""Tests for profile and query workload generators."""
+
+import pytest
+
+from repro.preferences.graph import PersonalizationGraph
+from repro.workloads.profiles import ProfileConfig, generate_profile, generate_profiles
+from repro.workloads.queries import generate_queries
+
+
+class TestProfiles:
+    def test_profile_validates_against_schema(self, movie_db):
+        profile = generate_profile(movie_db, seed=1)
+        PersonalizationGraph(movie_db.schema, profile)  # raises if invalid
+
+    def test_selection_count_matches_config(self, movie_db):
+        config = ProfileConfig(
+            n_genre_prefs=5, n_director_prefs=5, n_actor_prefs=5, n_movie_prefs=3
+        )
+        profile = generate_profile(movie_db, seed=1, config=config)
+        selections = [p for p in profile if p.is_selection]
+        # Movie-attribute draws may collide (deduped), others are exact.
+        assert 15 <= len(selections) <= config.n_selection_prefs
+
+    def test_join_preferences_present(self, movie_db):
+        profile = generate_profile(movie_db, seed=1)
+        joins = [p for p in profile if p.is_join]
+        assert len(joins) == 4
+
+    def test_dois_in_range(self, movie_db):
+        profile = generate_profile(movie_db, seed=2)
+        assert all(0.05 <= p.doi <= 1.0 for p in profile)
+
+    def test_values_exist_in_database(self, movie_db):
+        profile = generate_profile(movie_db, seed=3)
+        director_names = set(movie_db.table("DIRECTOR").column("name"))
+        for preference in profile:
+            if preference.is_selection and preference.anchor_relation == "DIRECTOR":
+                assert preference.condition.value in director_names
+
+    def test_deterministic(self, movie_db):
+        a = generate_profile(movie_db, seed=4)
+        b = generate_profile(movie_db, seed=4)
+        assert {str(p.condition) for p in a} == {str(p.condition) for p in b}
+
+    def test_population_distinct(self, movie_db):
+        profiles = generate_profiles(movie_db, count=3, seed=0)
+        assert len(profiles) == 3
+        assert len({p.name for p in profiles}) == 3
+        first = {str(c.condition) for c in profiles[0]}
+        second = {str(c.condition) for c in profiles[1]}
+        assert first != second
+
+
+class TestQueries:
+    def test_count_respected(self):
+        assert len(generate_queries(10, seed=0)) == 10
+
+    def test_all_anchored_at_movie(self):
+        for query in generate_queries(10, seed=0):
+            assert "MOVIE" in query.relation_names
+
+    def test_deterministic(self):
+        from repro.sql.printer import to_sql
+
+        a = [to_sql(q) for q in generate_queries(8, seed=1)]
+        b = [to_sql(q) for q in generate_queries(8, seed=1)]
+        assert a == b
+
+    def test_cycles_refresh_literals(self):
+        from repro.sql.printer import to_sql
+
+        queries = [to_sql(q) for q in generate_queries(12, seed=0)]
+        # Template 2 appears twice (indexes 1 and 7) with fresh literals.
+        assert len(set(queries)) > 6
