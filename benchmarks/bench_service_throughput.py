@@ -1,0 +1,186 @@
+"""Service throughput: per-request loop vs the batched path.
+
+Quantifies the PR's three layers on one workload — the paper's 20
+profiles x 10 queries population at K=30, streamed with repetition
+(every pair asked R times, the service-trace regime the batched path
+is built for):
+
+* **seed_per_request** — the pre-optimization baseline: tuple
+  evaluation kernel, 0-capacity parameter cache, one ``request()`` per
+  stream element;
+* **per_request_cold / per_request_warm** — the request loop with the
+  mask kernel + cross-request parameter cache (first pass primes the
+  cache, second pass reuses it);
+* **batched_cold / batched_warm** — ``request_many`` over the whole
+  stream: one solve and one execution per (user, query) group.
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py [--quick]
+
+Appends one trajectory point to ``BENCH_service_throughput.json`` at
+the repo root (``--no-write`` to skip) and prints a table. The driver
+asserts the headline ratio: batched warm >= 3x seed per-request.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from repro.core.param_cache import ParameterCache
+from repro.core.problem import CQPProblem
+from repro.core.service import BatchRequest, PersonalizationService
+from repro.datasets.movies import MovieDatasetConfig, build_movie_database
+from repro.workloads.profiles import generate_profiles
+from repro.workloads.queries import generate_queries
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+TRAJECTORY_FILE = REPO_ROOT / "BENCH_service_throughput.json"
+
+K = 30
+N_PROFILES = 20
+N_QUERIES = 10
+REPEATS = 3  # each (profile, query) pair appears R times in the stream
+CMAX = 400.0  # the paper's default cost bound (ms)
+DATASET = MovieDatasetConfig(n_movies=2000, n_directors=400, n_actors=1000)
+SPEEDUP_FLOOR = 3.0
+
+
+def build_stream(users: List[str], queries, repeats: int) -> List[BatchRequest]:
+    problem = CQPProblem.problem2(cmax=CMAX)
+    return [
+        BatchRequest(user=user, query=query, problem=problem, k_limit=K)
+        for _ in range(repeats)
+        for user in users
+        for query in queries
+    ]
+
+
+def make_service(database, profiles, seed_mode: bool) -> PersonalizationService:
+    service = PersonalizationService(
+        database,
+        param_cache=ParameterCache(capacity=0) if seed_mode else None,
+        mask_kernel=not seed_mode,
+    )
+    for index, profile in enumerate(profiles):
+        service.register("user-%02d" % index, profile)
+    return service
+
+
+def run_loop(service: PersonalizationService, stream: List[BatchRequest]) -> Dict:
+    """One request() per stream element, individually timed."""
+    latencies: List[float] = []
+    started = time.perf_counter()
+    for req in stream:
+        t0 = time.perf_counter()
+        service.request(req.user, req.query, problem=req.problem, k_limit=req.k_limit)
+        latencies.append(time.perf_counter() - t0)
+    total = time.perf_counter() - started
+    latencies.sort()
+    return {
+        "total_s": round(total, 4),
+        "req_per_s": round(len(stream) / total, 2),
+        "p50_ms": round(1000 * statistics.quantiles(latencies, n=100)[49], 3),
+        "p95_ms": round(1000 * statistics.quantiles(latencies, n=100)[94], 3),
+        "amortized_ms": round(1000 * total / len(stream), 3),
+    }
+
+
+def run_batched(service: PersonalizationService, stream: List[BatchRequest]) -> Dict:
+    started = time.perf_counter()
+    responses = service.request_many(stream)
+    total = time.perf_counter() - started
+    assert len(responses) == len(stream)
+    return {
+        "total_s": round(total, 4),
+        "req_per_s": round(len(stream) / total, 2),
+        "amortized_ms": round(1000 * total / len(stream), 3),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small population for a fast sanity run")
+    parser.add_argument("--no-write", action="store_true",
+                        help="do not append to %s" % TRAJECTORY_FILE.name)
+    args = parser.parse_args()
+
+    n_profiles = 4 if args.quick else N_PROFILES
+    n_queries = 3 if args.quick else N_QUERIES
+
+    print("building database (%d movies)..." % DATASET.n_movies)
+    database = build_movie_database(DATASET, seed=0)
+    database.analyze()
+    profiles = generate_profiles(database, count=n_profiles, seed=0)
+    queries = generate_queries(count=n_queries, seed=0)
+    users = ["user-%02d" % i for i in range(n_profiles)]
+    stream = build_stream(users, queries, REPEATS)
+    print("stream: %d requests (%d pairs x %d repeats), K=%d, cmax=%.0f"
+          % (len(stream), n_profiles * n_queries, REPEATS, K, CMAX))
+
+    results: Dict[str, Dict] = {}
+
+    seed_service = make_service(database, profiles, seed_mode=True)
+    results["seed_per_request"] = run_loop(seed_service, stream)
+    print("seed_per_request:    %s" % results["seed_per_request"])
+
+    loop_service = make_service(database, profiles, seed_mode=False)
+    results["per_request_cold"] = run_loop(loop_service, stream)
+    print("per_request_cold:    %s" % results["per_request_cold"])
+    results["per_request_warm"] = run_loop(loop_service, stream)
+    print("per_request_warm:    %s" % results["per_request_warm"])
+
+    batch_service = make_service(database, profiles, seed_mode=False)
+    results["batched_cold"] = run_batched(batch_service, stream)
+    print("batched_cold:        %s" % results["batched_cold"])
+    results["batched_warm"] = run_batched(batch_service, stream)
+    print("batched_warm:        %s" % results["batched_warm"])
+    cache = batch_service.param_cache.counters()
+    print("parameter cache:     %s" % cache)
+
+    speedup = (
+        results["seed_per_request"]["total_s"] / results["batched_warm"]["total_s"]
+    )
+    print("\nbatched warm vs seed per-request: %.2fx (floor %.1fx)"
+          % (speedup, SPEEDUP_FLOOR))
+
+    entry = {
+        "date": time.strftime("%Y-%m-%d"),
+        "config": {
+            "n_profiles": n_profiles,
+            "n_queries": n_queries,
+            "repeats": REPEATS,
+            "k": K,
+            "cmax": CMAX,
+            "n_movies": DATASET.n_movies,
+            "quick": args.quick,
+        },
+        "modes": results,
+        "param_cache": cache,
+        "speedup_batched_warm_vs_seed": round(speedup, 2),
+    }
+    if not args.no_write:
+        trajectory = []
+        if TRAJECTORY_FILE.exists():
+            trajectory = json.loads(TRAJECTORY_FILE.read_text())["trajectory"]
+        trajectory.append(entry)
+        TRAJECTORY_FILE.write_text(
+            json.dumps({"benchmark": "service_throughput", "trajectory": trajectory},
+                       indent=2) + "\n"
+        )
+        print("appended to %s" % TRAJECTORY_FILE)
+
+    if not args.quick and speedup < SPEEDUP_FLOOR:
+        print("FAIL: speedup %.2fx under the %.1fx floor" % (speedup, SPEEDUP_FLOOR))
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

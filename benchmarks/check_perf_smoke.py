@@ -1,0 +1,116 @@
+"""Performance smoke check (opt-in, marker ``perfsmoke``).
+
+A tiny K=15 workload asserting the PR's cache machinery actually pays:
+
+* warm-cache preference-space extraction must beat cold extraction by a
+  sanity margin (pricing dominates extraction, so a working cache shows
+  up immediately);
+* the cache counters must prove *why* — the warm pass re-prices
+  nothing.
+
+Timing assertions are kept deliberately loose (best-of-N, 0.9x margin)
+so the check catches "the cache stopped working", not scheduler noise.
+
+Run it::
+
+    PYTHONPATH=src python -m pytest benchmarks/check_perf_smoke.py -m perfsmoke
+    PYTHONPATH=src python benchmarks/check_perf_smoke.py   # same, scripted
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.param_cache import ParameterCache
+from repro.core.preference_space import extract_preference_space
+from repro.core.problem import CQPProblem
+from repro.core.service import BatchRequest, PersonalizationService
+from repro.datasets.movies import MovieDatasetConfig, build_movie_database
+from repro.workloads.profiles import generate_profile
+from repro.workloads.queries import generate_queries
+
+K = 15
+ROUNDS = 3  # best-of, to shrug off scheduler noise
+WARM_MARGIN = 0.9  # warm must be at least 10% faster than cold
+TINY_DATASET = MovieDatasetConfig(n_movies=1200, n_directors=200, n_actors=500)
+
+
+def _workload():
+    database = build_movie_database(TINY_DATASET, seed=0)
+    database.analyze()
+    profile = generate_profile(database, seed=0)
+    query = generate_queries(count=1, seed=0)[0]
+    return database, profile, query
+
+
+@pytest.mark.perfsmoke
+def test_warm_extraction_beats_cold():
+    database, profile, query = _workload()
+    constraints = CQPProblem.problem2(cmax=400.0).constraints
+
+    def extract(cache):
+        started = time.perf_counter()
+        extract_preference_space(
+            database, query, profile,
+            constraints=constraints, k_limit=K, param_cache=cache,
+        )
+        return time.perf_counter() - started
+
+    cold_times, warm_times = [], []
+    warm_cache = ParameterCache()
+    extract(warm_cache)  # prime once
+    for _ in range(ROUNDS):
+        cold_times.append(extract(ParameterCache()))
+        warm_times.append(extract(warm_cache))
+
+    # Deterministic part: the warm passes re-priced nothing new.
+    counters = warm_cache.counters()
+    assert counters["hits"] > 0
+    assert counters["misses"] == counters["entries"]  # only the priming pass missed
+
+    cold, warm = min(cold_times), min(warm_times)
+    assert warm <= cold * WARM_MARGIN, (
+        "warm extraction %.4fs not faster than cold %.4fs by the %.0f%% margin"
+        % (warm, cold, 100 * (1 - WARM_MARGIN))
+    )
+
+
+@pytest.mark.perfsmoke
+def test_batched_beats_request_loop():
+    database, profile, query = _workload()
+    problem = CQPProblem.problem2(cmax=400.0)
+
+    def service():
+        svc = PersonalizationService(database)
+        svc.register("al", profile)
+        return svc
+
+    stream = [
+        BatchRequest("al", query, problem=problem, k_limit=K) for _ in range(8)
+    ]
+
+    loop_service = service()
+    started = time.perf_counter()
+    for req in stream:
+        loop_service.request(req.user, req.query, problem=req.problem, k_limit=req.k_limit)
+    loop_time = time.perf_counter() - started
+
+    batch_service = service()
+    started = time.perf_counter()
+    responses = batch_service.request_many(stream)
+    batch_time = time.perf_counter() - started
+
+    # Deterministic part: one group, one shared outcome.
+    assert all(r.outcome is responses[0].outcome for r in responses)
+    assert batch_time <= loop_time * WARM_MARGIN, (
+        "batched %.4fs not faster than the request loop %.4fs"
+        % (batch_time, loop_time)
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(
+        pytest.main([__file__, "-m", "perfsmoke", "-v"])
+    )

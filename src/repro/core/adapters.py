@@ -124,6 +124,7 @@ def solve(
     pspace: PreferenceSpace,
     problem: CQPProblem,
     algorithm: str = "c_maxbounds",
+    mask_kernel: bool = True,
 ) -> Optional[CQPSolution]:
     """Solve any Table 1 problem over an extracted preference space.
 
@@ -131,18 +132,21 @@ def solve(
     Section 5 algorithm; for cost-minimization problems the dedicated
     minimal-state search runs and ``algorithm`` is ignored.
     Returns ``None`` when no personalized query satisfies the
-    constraints.
+    constraints. ``mask_kernel=False`` forces the legacy tuple
+    evaluation kernel (benchmark ablations; results are identical).
     """
-    bundle = SpaceBundle(pspace, problem)
+    bundle = SpaceBundle(pspace, problem, mask_kernel=mask_kernel)
     if problem.objective is Parameter.DOI:
         space = space_for_algorithm(bundle, algorithm)
         return get_algorithm(algorithm).solve(space)
 
     stats = SearchStats(algorithm="min_cost")
+    evaluations_before = bundle.evaluator.evaluations
     watch = Stopwatch()
     with watch:
         indices = minimal_feasible_min_cost(bundle, stats)
     stats.wall_time_s = watch.elapsed
+    stats.evaluated(bundle.evaluator.evaluations - evaluations_before)
     if indices is None:
         return None
     stats.solutions_recorded += 1

@@ -229,10 +229,14 @@ class CQPAlgorithm(ABC):
                 % (self.name, space.name)
             )
         stats = SearchStats(algorithm=self.name)
+        evaluations_before = space.evaluator.evaluations
         watch = Stopwatch()
         with watch:
             indices = self._search(space, stats)
         stats.wall_time_s = watch.elapsed
+        # Parameter evaluations are tallied by the evaluator (cache hits
+        # included — see CachedStateEvaluator), not by each algorithm.
+        stats.evaluated(space.evaluator.evaluations - evaluations_before)
         if indices is None:
             return None
         stats.solutions_recorded += 1

@@ -18,26 +18,40 @@ Two layers:
 from __future__ import annotations
 
 import math
-from typing import Dict, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # circular-import guard: the cache prices via us
+    from repro.core.param_cache import ParameterCache
 
 from repro.core.rewriter import QueryRewriter
+from repro.core.state import Mask, mask_of
 from repro.errors import SearchError
 from repro.preferences.composition import DoiAlgebra, PRODUCT_ALGEBRA
 from repro.preferences.model import PreferencePath
 from repro.sql.ast_nodes import SelectQuery
 from repro.sql.cardinality import CardinalityEstimator
 from repro.sql.cost import CostModel
+from repro.sql.printer import to_sql
 from repro.storage.database import Database
 
 
 class ParameterEstimator:
-    """Prices preference paths against one original query."""
+    """Prices preference paths against one original query.
+
+    When given a :class:`~repro.core.param_cache.ParameterCache`, the
+    per-path (cost, reduction) pair is memoized across requests under
+    the ``(query SQL, path conditions, db statistics version)``
+    fingerprint — re-pricing the same path for the same query against
+    unchanged statistics is pure recomputation (Section 5.2.1's caching
+    argument applied one layer down).
+    """
 
     def __init__(
         self,
         database: Database,
         query: SelectQuery,
         algebra: DoiAlgebra = PRODUCT_ALGEBRA,
+        param_cache: Optional["ParameterCache"] = None,
     ) -> None:
         self.database = database
         self.query = query
@@ -47,6 +61,8 @@ class ParameterEstimator:
         self.cardinality = CardinalityEstimator(database)
         self.base_cost = self.cost_model.cost_ms(query)
         self.base_size = self.cardinality.estimate(query)
+        self.param_cache = param_cache
+        self._query_fingerprint = to_sql(query) if param_cache is not None else ""
 
     def subquery(self, path: PreferencePath) -> SelectQuery:
         """The sub-query ``q_i`` integrating one preference (Section 4.2)."""
@@ -70,12 +86,36 @@ class ParameterEstimator:
         """size(Q ∧ p) = size(Q) × reduction(p)."""
         return self.base_size * self.path_reduction(path)
 
+    def priced(self, path: PreferencePath) -> Tuple[float, float]:
+        """(cost, reduction) of a path, via the cross-request cache if any."""
+        if self.param_cache is None:
+            return self.path_cost(path), self.path_reduction(path)
+        return self.param_cache.price(
+            self._query_fingerprint,
+            path,
+            self.database.stats_token,
+            lambda: (self.path_cost(path), self.path_reduction(path)),
+        )
+
 
 class StateEvaluator:
     """Computes doi/cost/size of preference sets from per-preference arrays.
 
     Indices here are positions into ``P`` (the doi-ordered preference
     list), not ranks; spaces translate ranks → P-indices first.
+
+    Two equivalent kernels compute every parameter:
+
+    * the *tuple kernel* (``doi/cost/size(indices)``) — the original
+      API over index sequences, kept so the Section 5 algorithms run
+      unchanged;
+    * the *mask kernel* (``doi_mask/cost_mask/size_mask(mask)``) — the
+      same formulas over int-bitmask states: popcount group size, O(1)
+      membership, conflict pairs checked as ``mask & pair == pair``,
+      and (in the cached subclass) single-int cache keys with no
+      per-call ``tuple(sorted(...))``.
+
+    ``tests/core/test_mask_kernel.py`` property-tests their agreement.
     """
 
     def __init__(
@@ -103,6 +143,11 @@ class StateEvaluator:
         # size() pins such states to exactly 0, and Formula (8) still
         # holds — supersets of a conflicted state stay conflicted at 0.
         self.conflicts = frozenset(frozenset(pair) for pair in conflicts)
+        # Conflict pairs as two-bit masks: a mask state is conflicted
+        # iff it covers one of them (mask & pair == pair).
+        self.conflict_masks: Tuple[Mask, ...] = tuple(
+            sorted(mask_of(pair) for pair in self.conflicts)
+        )
         self.evaluations = 0
         self._dois_descending = sorted(self.doi_values, reverse=True)
 
@@ -111,6 +156,18 @@ class StateEvaluator:
             return False
         present = set(indices)
         return any(pair <= present for pair in self.conflicts)
+
+    def _conflicted_mask(self, mask: Mask) -> bool:
+        return any(mask & pair == pair for pair in self.conflict_masks)
+
+    def _gather(self, values: List[float], mask: Mask) -> List[float]:
+        """The values selected by a mask's set bits (ascending index)."""
+        out: List[float] = []
+        while mask:
+            low = mask & -mask
+            out.append(values[low.bit_length() - 1])
+            mask ^= low
+        return out
 
     def __len__(self) -> int:
         return len(self.doi_values)
@@ -150,6 +207,35 @@ class StateEvaluator:
         self.evaluations += 1
         return self.base_size * math.prod(self.reductions[i] for i in indices)
 
+    # -- the mask kernel ------------------------------------------------------------
+
+    def doi_mask(self, mask: Mask) -> float:
+        """Mask twin of :meth:`doi`."""
+        self.evaluations += 1
+        if not mask:
+            return 0.0
+        return self.algebra.conjunction_doi(self._gather(self.doi_values, mask))
+
+    def cost_mask(self, mask: Mask) -> float:
+        """Mask twin of :meth:`cost`."""
+        self.evaluations += 1
+        if not mask:
+            return self.base_cost
+        return sum(self._gather(self.cost_values, mask))
+
+    def size_mask(self, mask: Mask) -> float:
+        """Mask twin of :meth:`size` (conflicts pin the size to 0)."""
+        self.evaluations += 1
+        if self._conflicted_mask(mask):
+            return 0.0
+        return self.base_size * math.prod(self._gather(self.reductions, mask))
+
+    def size_independent_mask(self, mask: Mask) -> float:
+        """Mask twin of :meth:`size_independent` — bypasses both the
+        conflict zeroing and (in the cached subclass) the size cache."""
+        self.evaluations += 1
+        return self.base_size * math.prod(self._gather(self.reductions, mask))
+
     def supreme_cost(self) -> float:
         """Cost of the query incorporating *all* preferences — the paper's
         Supreme Cost, the 100% point of the cmax sweeps."""
@@ -179,16 +265,25 @@ class CachedStateEvaluator(StateEvaluator):
     cost(.) has been implemented in this way. Costs that may be re-used
     are cached. This technique is used in all algorithms proposed."
     Search algorithms re-evaluate near-identical states constantly (a
-    Vertical neighbor differs in one preference), so caching by the
-    canonical preference set pays off; `bench_ablations.py` quantifies
-    it.
+    Vertical neighbor differs in one preference), so caching pays off;
+    `bench_ablations.py` quantifies it.
+
+    Caches key on the state's bitmask — one int per state, no
+    ``tuple(sorted(...))`` per call. The tuple API is a thin shim that
+    converts indices to a mask and rides the same caches, so tuple and
+    mask callers share hits. ``evaluations`` counts *every* parameter
+    request, hit or miss (invariant: ``evaluations == hits + misses``
+    when only cached entry points are used), keeping
+    ``SearchStats.parameter_evaluations`` comparable between cached and
+    uncached runs. :meth:`size_independent` stays uncached and bypasses
+    the conflict zeroing by design (see its base docstring).
     """
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
-        self._doi_cache: Dict[Tuple[int, ...], float] = {}
-        self._cost_cache: Dict[Tuple[int, ...], float] = {}
-        self._size_cache: Dict[Tuple[int, ...], float] = {}
+        self._doi_cache: Dict[Mask, float] = {}
+        self._cost_cache: Dict[Mask, float] = {}
+        self._size_cache: Dict[Mask, float] = {}
         self.cache_hits = 0
         self.cache_misses = 0
 
@@ -205,25 +300,38 @@ class CachedStateEvaluator(StateEvaluator):
             conflicts=[tuple(pair) for pair in evaluator.conflicts],
         )
 
-    def _cached(self, cache, compute, indices: Sequence[int]) -> float:
-        key = tuple(sorted(indices))
-        value = cache.get(key)
+    def _cached(self, cache: Dict[Mask, float], compute, mask: Mask) -> float:
+        value = cache.get(mask)
         if value is not None:
             self.cache_hits += 1
+            self.evaluations += 1  # hits count as evaluations too
             return value
         self.cache_misses += 1
-        value = compute(key)
-        cache[key] = value
+        value = compute(mask)  # the base *_mask kernel bumps evaluations
+        cache[mask] = value
         return value
 
+    # -- mask entry points (the caches live here) -------------------------------------
+
+    def doi_mask(self, mask: Mask) -> float:
+        return self._cached(self._doi_cache, super().doi_mask, mask)
+
+    def cost_mask(self, mask: Mask) -> float:
+        return self._cached(self._cost_cache, super().cost_mask, mask)
+
+    def size_mask(self, mask: Mask) -> float:
+        return self._cached(self._size_cache, super().size_mask, mask)
+
+    # -- tuple shims ------------------------------------------------------------------
+
     def doi(self, indices: Sequence[int]) -> float:
-        return self._cached(self._doi_cache, super().doi, indices)
+        return self.doi_mask(mask_of(indices))
 
     def cost(self, indices: Sequence[int]) -> float:
-        return self._cached(self._cost_cache, super().cost, indices)
+        return self.cost_mask(mask_of(indices))
 
     def size(self, indices: Sequence[int]) -> float:
-        return self._cached(self._size_cache, super().size, indices)
+        return self.size_mask(mask_of(indices))
 
     def cache_info(self) -> Dict[str, int]:
         return {"hits": self.cache_hits, "misses": self.cache_misses}

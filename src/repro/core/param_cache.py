@@ -1,0 +1,117 @@
+"""Cross-request parameter cache.
+
+Every personalization request re-prices the preference paths it
+considers: per path, one sub-query construction plus one cost-model and
+one cardinality estimation (`ParameterEstimator.path_cost` /
+`path_reduction`). For a service answering many requests those figures
+are pure functions of *(query AST, preference path, database
+statistics)* — the profile only decides *which* paths are considered
+and their dois, not what they cost. :class:`ParameterCache` memoizes
+the (cost, reduction) pair under exactly that fingerprint:
+
+* **query** — its printed SQL (canonical for the AST);
+* **path** — its condition tuple (what :class:`PreferencePath` hashes
+  by);
+* **statistics** — the owning database's ``stats_token``, which changes
+  on every ``analyze()``, data load, or index build.
+
+Invalidation is automatic: entries are tagged with the statistics token
+they were priced under, and the first access after the token changes
+flushes the cache. :meth:`invalidate` is the explicit hook for callers
+that mutate statistics out of band.
+
+The cache is thread-safe (one lock around the memo) so the batched
+service path can fan requests out across a pool while sharing it.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Dict, Hashable, Tuple
+
+from repro.preferences.model import PreferencePath
+
+PricePair = Tuple[float, float]  # (cost, reduction)
+
+DEFAULT_CAPACITY = 65536
+
+
+class ParameterCache:
+    """Keyed memo of per-path (cost, reduction) pricing across requests.
+
+    ``capacity`` bounds the entry count with LRU eviction; a capacity of
+    0 disables storage entirely (every lookup misses), which is how the
+    benchmarks model the seed's cache-less behaviour.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0, got %r" % (capacity,))
+        self.capacity = capacity
+        self._entries: "OrderedDict[Tuple[str, Tuple], PricePair]" = OrderedDict()
+        self._stats_token: Hashable = None
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- the one entry point -----------------------------------------------------
+
+    def price(
+        self,
+        query_fingerprint: str,
+        path: PreferencePath,
+        stats_token: Hashable,
+        compute: Callable[[], PricePair],
+    ) -> PricePair:
+        """The (cost, reduction) of ``path`` against the query, memoized.
+
+        ``stats_token`` identifies the statistics snapshot the pricing
+        is valid for; a token change flushes every entry (statistics
+        mutations invalidate all cost-model and cardinality inputs at
+        once — selective eviction would buy nothing).
+        """
+        key = (query_fingerprint, path.conditions)
+        with self._lock:
+            if stats_token != self._stats_token:
+                if self._entries:
+                    self.invalidations += 1
+                self._entries.clear()
+                self._stats_token = stats_token
+            value = self._entries.get(key)
+            if value is not None:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return value
+            self.misses += 1
+        value = compute()  # outside the lock: pricing may be slow
+        with self._lock:
+            if stats_token == self._stats_token and self.capacity > 0:
+                self._entries[key] = value
+                if len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+        return value
+
+    # -- maintenance ---------------------------------------------------------------
+
+    def invalidate(self) -> None:
+        """Explicitly drop every entry (statistics changed out of band)."""
+        with self._lock:
+            if self._entries:
+                self.invalidations += 1
+            self._entries.clear()
+            self._stats_token = None
+
+    def counters(self) -> Dict[str, int]:
+        """Hit/miss/invalidation tallies plus the current entry count."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "invalidations": self.invalidations,
+                "entries": len(self._entries),
+            }

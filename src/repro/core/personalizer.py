@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Union
 
 from repro.core import adapters
+from repro.core.param_cache import ParameterCache
 from repro.core.preference_space import PreferenceSpace, extract_preference_space
 from repro.core.problem import CQPProblem
 from repro.core.rewriter import QueryRewriter
@@ -69,13 +70,28 @@ class Personalizer:
         database: Database,
         algebra: DoiAlgebra = PRODUCT_ALGEBRA,
         default_algorithm: str = "c_maxbounds",
+        param_cache: Optional[ParameterCache] = None,
+        mask_kernel: bool = True,
     ) -> None:
+        """``param_cache`` memoizes per-path pricing across requests; one
+        is created per Personalizer when not given (pass a shared
+        instance to pool across personalizers, or a 0-capacity cache to
+        disable). ``mask_kernel=False`` falls back to the tuple
+        evaluation kernel (identical results, slower — benchmarks)."""
         if not database.analyzed:
             database.analyze()
         self.database = database
         self.algebra = algebra
         self.default_algorithm = default_algorithm
+        self.param_cache = param_cache if param_cache is not None else ParameterCache()
+        self.mask_kernel = mask_kernel
         self.executor = Executor(database)
+
+    def invalidate_caches(self) -> None:
+        """Drop cross-request pricing state (call after mutating the
+        database or its statistics out of band; normal ``analyze()`` /
+        ``load()`` calls are detected automatically)."""
+        self.param_cache.invalidate()
 
     def personalize(
         self,
@@ -94,6 +110,8 @@ class Personalizer:
         """
         if isinstance(query, str):
             query = parse_select(query)
+        hits_before = self.param_cache.hits
+        misses_before = self.param_cache.misses
         pspace = extract_preference_space(
             self.database,
             query,
@@ -101,6 +119,7 @@ class Personalizer:
             constraints=problem.constraints,
             algebra=self.algebra,
             k_limit=k_limit,
+            param_cache=self.param_cache,
         )
         if algorithm is None:
             # Problem-aware default: the greedy default is unreliable on
@@ -111,8 +130,17 @@ class Personalizer:
                 else adapters.recommended_algorithm(problem)
             )
         solution = (
-            adapters.solve(pspace, problem, algorithm) if pspace.k > 0 else None
+            adapters.solve(pspace, problem, algorithm, mask_kernel=self.mask_kernel)
+            if pspace.k > 0
+            else None
         )
+        if solution is not None:
+            # Surface this request's share of the cross-request cache
+            # traffic on the solution's stats record.
+            solution.stats.param_cache_hits += self.param_cache.hits - hits_before
+            solution.stats.param_cache_misses += (
+                self.param_cache.misses - misses_before
+            )
         paths = (
             [pspace.paths[i] for i in solution.pref_indices]
             if solution is not None

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.estimation import ParameterEstimator, StateEvaluator
+from repro.core.param_cache import ParameterCache
 from repro.core.problem import Constraints
 from repro.errors import PreferenceError, SearchError
 from repro.preferences.composition import DoiAlgebra, PRODUCT_ALGEBRA
@@ -125,9 +126,15 @@ def _prunable(
     """
     if constraints is None:
         return False
-    if constraints.cmax is not None and estimator.path_cost(path) > constraints.cmax:
+    if constraints.cmax is None and constraints.smin is None:
+        return False
+    cost, reduction = estimator.priced(path)
+    if constraints.cmax is not None and cost > constraints.cmax:
         return True
-    if constraints.smin is not None and estimator.path_size(path) < constraints.smin:
+    if (
+        constraints.smin is not None
+        and estimator.base_size * reduction < constraints.smin
+    ):
         return True
     return False
 
@@ -140,12 +147,19 @@ def extract_preference_space(
     algebra: DoiAlgebra = PRODUCT_ALGEBRA,
     k_limit: Optional[int] = None,
     max_path_length: int = DEFAULT_MAX_PATH_LENGTH,
+    param_cache: Optional[ParameterCache] = None,
 ) -> PreferenceSpace:
-    """Run the Preference Space algorithm and price every preference."""
+    """Run the Preference Space algorithm and price every preference.
+
+    ``param_cache`` (optional) memoizes per-path (cost, reduction)
+    pricing across calls — see :mod:`repro.core.param_cache`.
+    """
     if k_limit is not None and k_limit <= 0:
         raise SearchError("k_limit must be positive, got %r" % (k_limit,))
     graph = PersonalizationGraph(database.schema, profile)
-    estimator = ParameterEstimator(database, query, algebra=algebra)
+    estimator = ParameterEstimator(
+        database, query, algebra=algebra, param_cache=param_cache
+    )
 
     extract_watch = Stopwatch()
     c_watch = Stopwatch()
@@ -182,8 +196,7 @@ def extract_preference_space(
                 index = len(paths)
                 paths.append(path)
                 doi_values.append(-negative_doi)
-                cost = estimator.path_cost(path)
-                reduction = estimator.path_reduction(path)
+                cost, reduction = estimator.priced(path)
                 cost_values.append(cost)
                 reductions.append(reduction)
                 size_values.append(estimator.base_size * reduction)

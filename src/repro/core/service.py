@@ -18,10 +18,12 @@ as the search context at the time of the request."
 
 from __future__ import annotations
 
+from concurrent.futures import Executor as PoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.context import SearchContext, problem_for_context
+from repro.core.param_cache import ParameterCache
 from repro.core.personalizer import PersonalizationOutcome, Personalizer
 from repro.core.problem import CQPProblem
 from repro.errors import PreferenceError
@@ -30,6 +32,7 @@ from repro.preferences.learning import LearningConfig, learn_profile, merge_prof
 from repro.preferences.profile import UserProfile
 from repro.sql.ast_nodes import SelectQuery
 from repro.sql.parser import parse_select
+from repro.sql.printer import to_sql
 from repro.storage.database import Database
 from repro.storage.table import Row
 
@@ -55,6 +58,18 @@ class _UserState:
     requests_since_relearn: int = 0
 
 
+@dataclass
+class BatchRequest:
+    """One request in a :meth:`PersonalizationService.request_many` batch."""
+
+    user: str
+    query: Union[str, SelectQuery]
+    context: Optional[SearchContext] = None
+    problem: Optional[CQPProblem] = None
+    algorithm: Optional[str] = None
+    k_limit: Optional[int] = None
+
+
 class PersonalizationService:
     """Multi-user façade over one database."""
 
@@ -63,18 +78,37 @@ class PersonalizationService:
         database: Database,
         algebra: DoiAlgebra = PRODUCT_ALGEBRA,
         relearn_every: int = 0,
-        learning_config: LearningConfig = LearningConfig(),
+        learning_config: Optional[LearningConfig] = None,
         learning_weight: float = 0.3,
+        param_cache: Optional[ParameterCache] = None,
+        mask_kernel: bool = True,
     ) -> None:
         """``relearn_every``: after that many requests a user's profile is
-        re-blended with one learned from their query log (0 = never)."""
+        re-blended with one learned from their query log (0 = never).
+        ``learning_config`` defaults to a fresh :class:`LearningConfig`
+        per service (never a shared instance). ``param_cache`` /
+        ``mask_kernel`` are forwarded to the :class:`Personalizer`."""
         if relearn_every < 0:
             raise ValueError("relearn_every must be >= 0")
-        self.personalizer = Personalizer(database, algebra=algebra)
+        self.personalizer = Personalizer(
+            database, algebra=algebra, param_cache=param_cache, mask_kernel=mask_kernel
+        )
         self.relearn_every = relearn_every
-        self.learning_config = learning_config
+        self.learning_config = (
+            learning_config if learning_config is not None else LearningConfig()
+        )
         self.learning_weight = learning_weight
         self._users: Dict[str, _UserState] = {}
+
+    @property
+    def param_cache(self) -> ParameterCache:
+        """The cross-request parameter cache serving this service."""
+        return self.personalizer.param_cache
+
+    def invalidate_caches(self) -> None:
+        """Explicit invalidation hook for out-of-band database mutation
+        (ordinary ``load``/``analyze`` calls are version-detected)."""
+        self.personalizer.invalidate_caches()
 
     # -- user management ----------------------------------------------------------
 
@@ -109,12 +143,17 @@ class PersonalizationService:
         context: Optional[SearchContext] = None,
         problem: Optional[CQPProblem] = None,
         algorithm: Optional[str] = None,
+        k_limit: Optional[int] = None,
+        execute: bool = True,
     ) -> ServiceResponse:
         """Answer one request for ``user``.
 
         The Table 1 problem comes from ``problem`` when given, else from
         the ``context`` via the policy. The query is logged for learning
         and, when due, the user's profile is re-learned and blended.
+        ``execute=False`` skips running the personalized query (the
+        response carries no rows) — useful when only the rewritten query
+        or the solution metadata is wanted.
         """
         state = self._state(user)
         if isinstance(query, str):
@@ -130,8 +169,10 @@ class PersonalizationService:
             self._relearn(user)
 
         outcome = self.personalizer.personalize(
-            query, state.profile, problem, algorithm=algorithm
+            query, state.profile, problem, algorithm=algorithm, k_limit=k_limit
         )
+        if not execute:
+            return ServiceResponse(user=user, outcome=outcome, rows=[], elapsed_ms=0.0)
         result = self.personalizer.execute(outcome)
         return ServiceResponse(
             user=user,
@@ -139,6 +180,96 @@ class PersonalizationService:
             rows=result.rows,
             elapsed_ms=result.elapsed_ms,
         )
+
+    # -- the batched request path --------------------------------------------------
+
+    def request_many(
+        self,
+        requests: Iterable[BatchRequest],
+        max_workers: Optional[int] = None,
+        execute: bool = True,
+    ) -> List[ServiceResponse]:
+        """Answer a batch of requests, sharing work across duplicates.
+
+        Requests are grouped by ``(user, query SQL, problem, algorithm,
+        k_limit)``; each group runs the extract → search → rewrite
+        pipeline **once** and (when ``execute``) executes the
+        personalized query **once**, fanning the shared outcome out to
+        every member. Across groups the personalizer's parameter cache
+        still shares per-path pricing, so even an all-distinct batch
+        beats the request-at-a-time loop once warm.
+
+        ``max_workers > 1`` fans the per-group personalization out on a
+        :class:`ThreadPoolExecutor`; execution stays serial because the
+        block-device I/O tally is shared. Learning bookkeeping happens at
+        the batch boundary: all queries are logged first and due
+        relearns run once per user *before* any group is solved, so a
+        batch observes one consistent profile per user.
+
+        Returns responses in the order of ``requests``.
+        """
+        specs: List[Tuple[str, SelectQuery, CQPProblem, Optional[str], Optional[int]]] = []
+        for req in requests:
+            query = parse_select(req.query) if isinstance(req.query, str) else req.query
+            problem = req.problem
+            if problem is None:
+                if req.context is None:
+                    raise PreferenceError("a request needs a context or a problem")
+                problem = problem_for_context(req.context)
+            self._state(req.user)  # unknown users fail before any work
+            specs.append((req.user, query, problem, req.algorithm, req.k_limit))
+
+        # Batch-boundary learning: log everything, then relearn once.
+        for user, query, _, _, _ in specs:
+            state = self._state(user)
+            state.query_log.append(query)
+            state.requests_since_relearn += 1
+        if self.relearn_every:
+            for user in {spec[0] for spec in specs}:
+                if self._state(user).requests_since_relearn >= self.relearn_every:
+                    self._relearn(user)
+
+        groups: Dict[Tuple, List[int]] = {}
+        for position, (user, query, problem, algorithm, k_limit) in enumerate(specs):
+            key = (user, to_sql(query), problem, algorithm, k_limit)
+            groups.setdefault(key, []).append(position)
+
+        def personalize_group(members: Sequence[int]) -> PersonalizationOutcome:
+            user, query, problem, algorithm, k_limit = specs[members[0]]
+            return self.personalizer.personalize(
+                query,
+                self._state(user).profile,
+                problem,
+                algorithm=algorithm,
+                k_limit=k_limit,
+            )
+
+        member_lists = list(groups.values())
+        if max_workers is not None and max_workers > 1 and len(member_lists) > 1:
+            pool: PoolExecutor = ThreadPoolExecutor(max_workers=max_workers)
+            try:
+                outcomes = list(pool.map(personalize_group, member_lists))
+            finally:
+                pool.shutdown()
+        else:
+            outcomes = [personalize_group(members) for members in member_lists]
+
+        responses: List[Optional[ServiceResponse]] = [None] * len(specs)
+        for members, outcome in zip(member_lists, outcomes):
+            if execute:
+                result = self.personalizer.execute(outcome)
+                rows, elapsed_ms = result.rows, result.elapsed_ms
+            else:
+                rows, elapsed_ms = [], 0.0
+            user = specs[members[0]][0]
+            for position in members:
+                responses[position] = ServiceResponse(
+                    user=user,
+                    outcome=outcome,
+                    rows=list(rows),
+                    elapsed_ms=elapsed_ms,
+                )
+        return responses  # type: ignore[return-value]
 
     # -- learning -----------------------------------------------------------------
 

@@ -22,7 +22,7 @@ from repro.core.estimation import StateEvaluator
 from repro.core.preference_space import PreferenceSpace
 from repro.core.problem import CQPProblem, Parameter
 from repro.core.solution import CQPSolution
-from repro.core.state import State, make_state
+from repro.core.state import Mask, State, make_state
 from repro.core.stats import SearchStats
 from repro.errors import SearchError
 
@@ -30,7 +30,17 @@ _TOL = 1e-9
 
 
 class SearchSpace:
-    """One rank vector + evaluation functions, the algorithms' substrate."""
+    """One rank vector + evaluation functions, the algorithms' substrate.
+
+    Evaluation runs on one of two kernels. The tuple kernel calls the
+    ``budget``/``objective``/``extra`` callables with P-index tuples.
+    When the mask twins (``budget_mask``/``objective_mask``/
+    ``extra_mask``) are supplied, the hot entry points instead translate
+    rank states to P-index *bitmasks* via a precomputed per-rank bit
+    table and evaluate those — no tuple allocation, and single-int cache
+    keys downstream. The algorithms keep calling the tuple-state API
+    either way; only the evaluation plumbing changes.
+    """
 
     def __init__(
         self,
@@ -43,6 +53,9 @@ class SearchSpace:
         budget_aligned: bool,
         extra: Optional[Callable[[Sequence[int]], bool]] = None,
         name: str = "",
+        budget_mask: Optional[Callable[[Mask], float]] = None,
+        objective_mask: Optional[Callable[[Mask], float]] = None,
+        extra_mask: Optional[Callable[[Mask], bool]] = None,
     ) -> None:
         if sorted(vector) != list(range(len(vector))):
             raise SearchError("vector must be a permutation of 0..K-1")
@@ -55,10 +68,21 @@ class SearchSpace:
         self.budget_aligned = budget_aligned
         self._extra = extra
         self.name = name
+        self._budget_mask = budget_mask
+        self._objective_mask = objective_mask
+        self._extra_mask = extra_mask
+        # rank -> single-bit mask of the P-index it denotes
+        self._pref_bit: Tuple[Mask, ...] = tuple(1 << p for p in self.vector)
+        self._feasible_limit = self.limit + abs(self.limit) * _TOL + _TOL
 
     @property
     def k(self) -> int:
         return len(self.vector)
+
+    @property
+    def mask_kernel(self) -> bool:
+        """True when evaluation runs on the bitmask kernel."""
+        return self._budget_mask is not None
 
     # -- state interpretation ---------------------------------------------------
 
@@ -66,13 +90,25 @@ class SearchSpace:
         """Translate a rank state to the P-indices it denotes."""
         return tuple(self.vector[rank] for rank in state)
 
+    def pref_mask(self, state: State) -> Mask:
+        """Translate a rank state to the bitmask of its P-indices."""
+        bits = self._pref_bit
+        mask = 0
+        for rank in state:
+            mask |= bits[rank]
+        return mask
+
     def budget_value(self, state: State) -> float:
+        if self._budget_mask is not None:
+            return self._budget_mask(self.pref_mask(state))
         return self._budget(self.prefs(state))
 
     def within_budget(self, state: State) -> bool:
-        return self.budget_value(state) <= self.limit + abs(self.limit) * _TOL + _TOL
+        return self.budget_value(state) <= self._feasible_limit
 
     def objective_value(self, state: State) -> float:
+        if self._objective_mask is not None:
+            return self._objective_mask(self.pref_mask(state))
         return self._objective(self.prefs(state))
 
     def upper_bound(self, group: int) -> float:
@@ -80,7 +116,11 @@ class SearchSpace:
         return self._upper_bound(group)
 
     def extra_feasible(self, state: State) -> bool:
-        return True if self._extra is None else self._extra(self.prefs(state))
+        if self._extra is None:
+            return True
+        if self._extra_mask is not None:
+            return self._extra_mask(self.pref_mask(state))
+        return self._extra(self.prefs(state))
 
     @property
     def has_extra(self) -> bool:
@@ -120,6 +160,17 @@ class SearchSpace:
     def horizontal2(self, state: State) -> List[State]:
         return tr.horizontal2(state, self.k)
 
+    # -- transitions (mask-level twins) ------------------------------------------------
+
+    def horizontal_mask(self, mask: Mask) -> Optional[Mask]:
+        return tr.horizontal_mask(mask, self.k)
+
+    def vertical_mask(self, mask: Mask) -> List[Mask]:
+        return tr.vertical_mask(mask, self.k)
+
+    def horizontal2_mask(self, mask: Mask) -> List[Mask]:
+        return tr.horizontal2_mask(mask, self.k)
+
 
 class SpaceBundle:
     """Couples an extracted preference space with one CQP problem and
@@ -131,12 +182,17 @@ class SpaceBundle:
     """
 
     def __init__(
-        self, pspace: PreferenceSpace, problem: CQPProblem, cached: bool = True
+        self,
+        pspace: PreferenceSpace,
+        problem: CQPProblem,
+        cached: bool = True,
+        mask_kernel: bool = True,
     ) -> None:
         from repro.core.estimation import CachedStateEvaluator
 
         self.pspace = pspace
         self.problem = problem
+        self.mask_kernel = mask_kernel
         self.evaluator = (
             CachedStateEvaluator.wrap(pspace.evaluator())
             if cached
@@ -165,6 +221,23 @@ class SpaceBundle:
 
         return check
 
+    def _size_extra_mask(self) -> Optional[Callable[[Mask], bool]]:
+        """Mask twin of :meth:`_size_extra` (same window, mask states)."""
+        constraints = self.problem.constraints
+        if not constraints.has_size_bounds:
+            return None
+        evaluator = self.evaluator
+
+        def check(mask: Mask) -> bool:
+            size = evaluator.size_mask(mask)
+            if constraints.smin is not None and size < constraints.smin * (1 - _TOL) - _TOL:
+                return False
+            if constraints.smax is not None and size > constraints.smax * (1 + _TOL) + _TOL:
+                return False
+            return True
+
+        return check
+
     def _smin_only_extra(self) -> Optional[Callable[[Sequence[int]], bool]]:
         """The predicate left over when smin drives the budget.
 
@@ -185,6 +258,21 @@ class SpaceBundle:
             return check
         return self._size_extra()
 
+    def _smin_only_extra_mask(self) -> Optional[Callable[[Mask], bool]]:
+        """Mask twin of :meth:`_smin_only_extra`."""
+        constraints = self.problem.constraints
+        evaluator = self.evaluator
+        if constraints.smax is None and not evaluator.conflicts:
+            return None
+        if not evaluator.conflicts:
+            smax = constraints.smax
+
+            def check(mask: Mask) -> bool:
+                return evaluator.size_mask(mask) <= smax * (1 + _TOL) + _TOL
+
+            return check
+        return self._size_extra_mask()
+
     def _doi_upper_bound(self, group: int) -> float:
         return self.evaluator.best_doi_of_size(group)
 
@@ -195,6 +283,7 @@ class SpaceBundle:
         cmax = self.problem.constraints.cmax
         if cmax is None:
             raise SearchError("cost space needs a cost upper bound (Problems 2-3)")
+        masked = self.mask_kernel
         return SearchSpace(
             vector=self.pspace.vector_c,
             evaluator=self.evaluator,
@@ -205,6 +294,9 @@ class SpaceBundle:
             budget_aligned=True,
             extra=self._size_extra(),
             name="cost",
+            budget_mask=self.evaluator.cost_mask if masked else None,
+            objective_mask=self.evaluator.doi_mask if masked else None,
+            extra_mask=self._size_extra_mask() if masked else None,
         )
 
     def doi_space(self) -> SearchSpace:
@@ -215,10 +307,16 @@ class SpaceBundle:
         :meth:`size_space` — the Section 6 direction flip.
         """
         constraints = self.problem.constraints
+        masked = self.mask_kernel
+        budget_mask: Optional[Callable[[Mask], float]] = None
+        extra_mask: Optional[Callable[[Mask], bool]] = None
         if constraints.cmax is not None:
             budget = self.evaluator.cost
             limit: float = constraints.cmax
             extra = self._size_extra()
+            if masked:
+                budget_mask = self.evaluator.cost_mask
+                extra_mask = self._size_extra_mask()
         elif constraints.smin is not None:
             evaluator = self.evaluator
 
@@ -227,6 +325,12 @@ class SpaceBundle:
 
             limit = -constraints.smin
             extra = self._smin_only_extra()
+            if masked:
+
+                def budget_mask(mask: Mask) -> float:
+                    return -evaluator.size_independent_mask(mask)
+
+                extra_mask = self._smin_only_extra_mask()
         else:
             raise SearchError("doi space needs a cost or size constraint")
         return SearchSpace(
@@ -239,6 +343,9 @@ class SpaceBundle:
             budget_aligned=False,
             extra=extra,
             name="doi",
+            budget_mask=budget_mask,
+            objective_mask=self.evaluator.doi_mask if masked else None,
+            extra_mask=extra_mask,
         )
 
     def aligned_space(self) -> SearchSpace:
@@ -262,12 +369,16 @@ class SpaceBundle:
             raise SearchError("size space needs a size lower bound (Problem 1)")
         evaluator = self.evaluator
         smin = constraints.smin
+        masked = self.mask_kernel
 
         def budget(indices: Sequence[int]) -> float:
             # The independence product keeps Vertical moves monotone
             # (see StateEvaluator.size_independent); conflicts are
             # re-checked by the extra predicate.
             return -evaluator.size_independent(indices)
+
+        def budget_mask(mask: Mask) -> float:
+            return -evaluator.size_independent_mask(mask)
 
         return SearchSpace(
             vector=self.pspace.vector_s,
@@ -279,6 +390,9 @@ class SpaceBundle:
             budget_aligned=True,
             extra=self._smin_only_extra(),
             name="size",
+            budget_mask=budget_mask if masked else None,
+            objective_mask=self.evaluator.doi_mask if masked else None,
+            extra_mask=self._smin_only_extra_mask() if masked else None,
         )
 
     def default_space(self) -> SearchSpace:

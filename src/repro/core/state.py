@@ -8,13 +8,25 @@ known effect on the vector's parameter regardless of which preferences
 are involved.
 
 Ranks are 0-based here (the paper is 1-based).
+
+Alongside the tuple representation there is an *int bitmask* kernel:
+a state is one Python int whose set bits are the ranks (or P-indices)
+it contains. Masks make membership, group size (popcount), and cache
+keys O(1) single-int operations with no per-call ``tuple(sorted(...))``;
+:mod:`repro.core.transitions` implements the Section 5 transitions as
+bit twiddling on them. Both representations are interconvertible and
+every consumer may pick whichever fits; the algorithms keep the tuple
+API, which the evaluation layer shims onto the mask kernel.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Tuple
+from typing import Iterable, List, Tuple
 
 State = Tuple[int, ...]
+
+# A mask state: set bit ``r`` <=> rank/index ``r`` is in the state.
+Mask = int
 
 
 def make_state(ranks: Iterable[int]) -> State:
@@ -49,3 +61,58 @@ def states_in_group(k: int, size: int) -> Iterable[State]:
     from itertools import combinations
 
     return combinations(range(k), size)
+
+
+# -- the bitmask kernel ------------------------------------------------------------
+
+
+def mask_of(ranks: Iterable[int]) -> Mask:
+    """The bitmask of an iterable of ranks (duplicates collapse)."""
+    mask = 0
+    for rank in ranks:
+        mask |= 1 << rank
+    return mask
+
+
+def state_of(mask: Mask) -> State:
+    """The canonical sorted tuple of a mask (bits ascend, so no sort)."""
+    state: List[int] = []
+    while mask:
+        low = mask & -mask
+        state.append(low.bit_length() - 1)
+        mask ^= low
+    return tuple(state)
+
+
+def mask_group_size(mask: Mask) -> int:
+    """Group of a mask state: its popcount (Def. 1), O(1)."""
+    return mask.bit_count()
+
+
+def mask_contains(mask: Mask, rank: int) -> bool:
+    """O(1) membership test."""
+    return bool((mask >> rank) & 1)
+
+
+def mask_is_below(mask: Mask, origin: Mask) -> bool:
+    """Mask-native :func:`is_below` (componentwise dominance).
+
+    ``state[i] >= origin[i]`` for sorted tuples is equivalent to: for
+    every rank prefix ``[0, r]``, the state holds at most as many ranks
+    in it as the origin does. Scanning the union's set bits keeps the
+    check O(popcount) without materializing tuples.
+    """
+    if mask.bit_count() != origin.bit_count():
+        return False
+    union = mask | origin
+    ahead = 0  # (#origin bits) - (#mask bits) seen so far
+    while union:
+        low = union & -union
+        union ^= low
+        if origin & low:
+            ahead += 1
+        if mask & low:
+            ahead -= 1
+            if ahead < 0:
+                return False
+    return True

@@ -36,6 +36,10 @@ class SearchStats:
     solutions_recorded: int = 0
     peak_memory_bytes: int = 0
     wall_time_s: float = 0.0
+    # Cross-request parameter-cache traffic during this request's
+    # extraction (see repro.core.param_cache); 0/0 when no cache is wired.
+    param_cache_hits: int = 0
+    param_cache_misses: int = 0
     _containers: Dict[str, Callable[[], int]] = field(default_factory=dict, repr=False)
 
     # -- counters -----------------------------------------------------------------
@@ -96,6 +100,8 @@ class SearchStats:
         self.solutions_recorded += other.solutions_recorded
         self.peak_memory_bytes = max(self.peak_memory_bytes, other.peak_memory_bytes)
         self.wall_time_s += other.wall_time_s
+        self.param_cache_hits += other.param_cache_hits
+        self.param_cache_misses += other.param_cache_misses
 
 
 def container_bytes(container: Sequence[Tuple[int, ...]]) -> int:

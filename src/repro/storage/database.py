@@ -34,6 +34,10 @@ class Database:
         }
         self._statistics: Dict[str, TableStatistics] = {}
         self._indexes: Dict[Tuple[str, str], HashIndex] = {}
+        # Monotone counter bumped by anything that changes what the cost
+        # model or cardinality estimator would answer: data mutation,
+        # (re-)ANALYZE, index builds. Cross-request caches key on it.
+        self._stats_version = 0
 
     # -- catalog -------------------------------------------------------------
 
@@ -53,6 +57,7 @@ class Database:
     # -- loading -------------------------------------------------------------
 
     def insert(self, relation_name: str, row: Sequence[object]) -> Row:
+        self._stats_version += 1
         return self.table(relation_name).insert(row)
 
     def load(self, relation_name: str, rows: Iterable[Sequence[object]]) -> int:
@@ -62,6 +67,8 @@ class Database:
         for row in rows:
             table.insert(row)
             count += 1
+        if count:
+            self._stats_version += 1
         return count
 
     def check_referential_integrity(self) -> None:
@@ -101,6 +108,7 @@ class Database:
         names = [relation_name] if relation_name is not None else list(self.tables)
         for name in names:
             self._statistics[name] = analyze_table(self.table(name))
+        self._stats_version += 1
 
     def statistics(self, relation_name: str) -> TableStatistics:
         if relation_name not in self.tables:
@@ -115,6 +123,21 @@ class Database:
     @property
     def analyzed(self) -> bool:
         return set(self._statistics) == set(self.tables)
+
+    @property
+    def stats_version(self) -> int:
+        """Counts statistics-affecting mutations (loads, ANALYZE, indexes)."""
+        return self._stats_version
+
+    @property
+    def stats_token(self) -> Tuple[int, int]:
+        """A hashable snapshot identity for cross-request caches.
+
+        Includes the database's object identity so one cache never
+        serves pricing from a different database whose version counter
+        happens to coincide.
+        """
+        return (id(self), self._stats_version)
 
     # -- indexes ---------------------------------------------------------------
 
@@ -131,6 +154,7 @@ class Database:
             )
         index = HashIndex(table, attribute)
         self._indexes[(relation_name, attribute)] = index
+        self._stats_version += 1
         return index
 
     def index_on(self, relation_name: str, attribute: str) -> Optional[HashIndex]:

@@ -169,6 +169,57 @@ class TestCachedEvaluator:
         assert cached.cost((0, 1, 2)) == pytest.approx(plain.cost((0, 1, 2)))
         assert cached.supreme_cost() == pytest.approx(plain.supreme_cost())
 
+    def _conflicted_evaluator(self):
+        from repro.core.estimation import CachedStateEvaluator
+
+        return CachedStateEvaluator(
+            doi_values=[0.8, 0.7, 0.5],
+            cost_values=[5.0, 12.0, 10.0],
+            reductions=[0.1, 0.5, 0.15],
+            base_size=20.0,
+            conflicts=[(0, 1)],
+        )
+
+    def test_conflicted_state_caches_size_zero(self):
+        cached = self._conflicted_evaluator()
+        assert cached.size((0, 1)) == 0.0
+        assert cached.size((0, 1)) == 0.0  # served from cache
+        info = cached.cache_info()
+        assert info == {"hits": 1, "misses": 1}
+        assert cached.size((1, 0, 2)) == 0.0  # superset stays conflicted
+
+    def test_size_independent_bypasses_conflicts_and_cache(self):
+        cached = self._conflicted_evaluator()
+        assert cached.size((0, 1)) == 0.0  # primes the size cache with 0
+        independent = cached.size_independent((0, 1))
+        assert independent == pytest.approx(20.0 * 0.1 * 0.5)
+        # Neither lookup nor store: cache traffic is unchanged.
+        assert cached.cache_info() == {"hits": 0, "misses": 1}
+        cached.size_independent((0, 1))
+        assert cached.cache_info() == {"hits": 0, "misses": 1}
+        # And the cached (conflict-aware) size is not clobbered.
+        assert cached.size((0, 1)) == 0.0
+
+    def test_evaluations_counts_hits_and_misses(self):
+        # The invariant keeping parameter_evaluations comparable between
+        # cached and uncached runs: every request counts, hit or miss.
+        cached = self._evaluator()
+        states = [(0,), (0, 1), (0,), (1,), (0, 1), (0, 1, 2), (0,)]
+        for state in states:
+            cached.cost(state)
+            cached.doi(state)
+        info = cached.cache_info()
+        assert cached.evaluations == info["hits"] + info["misses"]
+        assert cached.evaluations == 2 * len(states)
+
+    def test_mask_and_tuple_entry_points_share_caches(self):
+        from repro.core.state import mask_of
+
+        cached = self._evaluator()
+        first = cached.cost((0, 2))
+        assert cached.cost_mask(mask_of((0, 2))) == first
+        assert cached.cache_info() == {"hits": 1, "misses": 1}
+
     def test_bundle_uses_cached_by_default(self, movie_db, movie_profile, movie_query):
         from repro.core.estimation import CachedStateEvaluator
         from repro.core.preference_space import extract_preference_space

@@ -1,0 +1,188 @@
+"""The cross-request parameter cache: memoization, statistics-driven
+invalidation, and its wiring through the Personalizer and SearchStats."""
+
+import pytest
+
+from repro.core.param_cache import ParameterCache
+from repro.core.personalizer import Personalizer
+from repro.core.problem import CQPProblem
+from repro.datasets.movies import MovieDatasetConfig, build_movie_database
+from repro.preferences.model import (
+    AtomicPreference,
+    JoinCondition,
+    PreferencePath,
+    SelectionCondition,
+)
+
+
+def path(genre="drama", doi=0.5):
+    return PreferencePath(
+        [
+            AtomicPreference(JoinCondition("MOVIE", "mid", "GENRE", "mid"), doi=0.9),
+            AtomicPreference(SelectionCondition("GENRE", "genre", genre), doi=doi),
+        ]
+    )
+
+
+class TestParameterCache:
+    def test_miss_then_hit(self):
+        cache = ParameterCache()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return (10.0, 0.5)
+
+        assert cache.price("Q", path(), ("db", 1), compute) == (10.0, 0.5)
+        assert cache.price("Q", path(), ("db", 1), compute) == (10.0, 0.5)
+        assert len(calls) == 1
+        assert cache.counters() == {
+            "hits": 1,
+            "misses": 1,
+            "invalidations": 0,
+            "entries": 1,
+        }
+
+    def test_distinct_queries_and_paths_do_not_collide(self):
+        cache = ParameterCache()
+        cache.price("Q1", path("drama"), ("db", 1), lambda: (1.0, 0.1))
+        assert cache.price("Q2", path("drama"), ("db", 1), lambda: (2.0, 0.2)) == (2.0, 0.2)
+        assert cache.price("Q1", path("comedy"), ("db", 1), lambda: (3.0, 0.3)) == (3.0, 0.3)
+        assert cache.misses == 3 and cache.hits == 0
+
+    def test_doi_not_part_of_key(self):
+        # Pricing is profile-independent: the same conditions with a
+        # different doi must share the entry (dois live outside the cache).
+        cache = ParameterCache()
+        cache.price("Q", path(doi=0.9), ("db", 1), lambda: (1.0, 0.1))
+        assert cache.price("Q", path(doi=0.1), ("db", 1), lambda: (9.0, 0.9)) == (1.0, 0.1)
+        assert cache.hits == 1
+
+    def test_stats_token_change_flushes(self):
+        cache = ParameterCache()
+        cache.price("Q", path(), ("db", 1), lambda: (1.0, 0.1))
+        assert cache.price("Q", path(), ("db", 2), lambda: (2.0, 0.2)) == (2.0, 0.2)
+        assert cache.invalidations == 1
+        assert len(cache) == 1  # re-primed under the new token
+
+    def test_explicit_invalidate(self):
+        cache = ParameterCache()
+        cache.price("Q", path(), ("db", 1), lambda: (1.0, 0.1))
+        cache.invalidate()
+        assert len(cache) == 0
+        assert cache.price("Q", path(), ("db", 1), lambda: (2.0, 0.2)) == (2.0, 0.2)
+
+    def test_zero_capacity_disables_storage(self):
+        cache = ParameterCache(capacity=0)
+        cache.price("Q", path(), ("db", 1), lambda: (1.0, 0.1))
+        cache.price("Q", path(), ("db", 1), lambda: (1.0, 0.1))
+        assert cache.hits == 0 and cache.misses == 2 and len(cache) == 0
+
+    def test_lru_eviction(self):
+        cache = ParameterCache(capacity=2)
+        cache.price("Q", path("a"), ("db", 1), lambda: (1.0, 0.1))
+        cache.price("Q", path("b"), ("db", 1), lambda: (2.0, 0.2))
+        cache.price("Q", path("a"), ("db", 1), lambda: (0.0, 0.0))  # touch a
+        cache.price("Q", path("c"), ("db", 1), lambda: (3.0, 0.3))  # evicts b
+        assert cache.price("Q", path("a"), ("db", 1), lambda: (9.0, 0.9)) == (1.0, 0.1)
+        assert cache.price("Q", path("b"), ("db", 1), lambda: (8.0, 0.8)) == (8.0, 0.8)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ParameterCache(capacity=-1)
+
+
+TINY_DATASET = MovieDatasetConfig(
+    n_movies=120, n_directors=30, n_actors=60, cast_per_movie=2
+)
+
+
+@pytest.fixture()
+def tiny_db():
+    return build_movie_database(TINY_DATASET, seed=7)
+
+
+class TestDatabaseStatsToken:
+    def test_token_changes_on_statistics_mutation(self, tiny_db):
+        before = tiny_db.stats_token
+        tiny_db.analyze()
+        after_analyze = tiny_db.stats_token
+        assert after_analyze != before
+        tiny_db.insert("GENRE", next(iter(tiny_db.table("GENRE").rows())))
+        assert tiny_db.stats_token != after_analyze
+
+    def test_token_distinguishes_databases(self):
+        a = build_movie_database(TINY_DATASET, seed=7)
+        b = build_movie_database(TINY_DATASET, seed=7)
+        assert a.stats_token != b.stats_token
+
+
+class TestPersonalizerIntegration:
+    def test_repeat_request_hits_cache(self, movie_db, movie_profile):
+        personalizer = Personalizer(movie_db)
+        problem = CQPProblem.problem2(cmax=100.0)
+        first = personalizer.personalize(
+            "select title from MOVIE", movie_profile, problem
+        )
+        assert first.solution is not None
+        # First request: every distinct path priced once (a path asked
+        # for twice within the request already hits).
+        assert first.solution.stats.param_cache_misses > 0
+        second = personalizer.personalize(
+            "select title from MOVIE", movie_profile, problem
+        )
+        assert second.solution is not None
+        # The second identical request re-prices nothing.
+        assert second.solution.stats.param_cache_misses == 0
+        assert second.solution.stats.param_cache_hits == (
+            first.solution.stats.param_cache_hits
+            + first.solution.stats.param_cache_misses
+        )
+        assert second.solution.pref_indices == first.solution.pref_indices
+
+    def test_shared_cache_across_personalizers(self, movie_db, movie_profile):
+        cache = ParameterCache()
+        problem = CQPProblem.problem2(cmax=100.0)
+        Personalizer(movie_db, param_cache=cache).personalize(
+            "select title from MOVIE", movie_profile, problem
+        )
+        misses = cache.misses
+        Personalizer(movie_db, param_cache=cache).personalize(
+            "select title from MOVIE", movie_profile, problem
+        )
+        assert cache.misses == misses  # second personalizer fully reuses
+        assert cache.hits >= misses
+
+    def test_invalidate_caches_forces_reprice(self, tiny_db, movie_profile):
+        personalizer = Personalizer(tiny_db)
+        problem = CQPProblem.problem2(cmax=100.0)
+        personalizer.personalize("select title from MOVIE", movie_profile, problem)
+        personalizer.invalidate_caches()
+        outcome = personalizer.personalize(
+            "select title from MOVIE", movie_profile, problem
+        )
+        assert outcome.solution is not None
+        assert outcome.solution.stats.param_cache_misses > 0
+
+    def test_statistics_mutation_detected(self, tiny_db, movie_profile):
+        personalizer = Personalizer(tiny_db)
+        problem = CQPProblem.problem2(cmax=100.0)
+        personalizer.personalize("select title from MOVIE", movie_profile, problem)
+        tiny_db.analyze()  # bumps the stats token out of band
+        outcome = personalizer.personalize(
+            "select title from MOVIE", movie_profile, problem
+        )
+        assert outcome.solution is not None
+        assert outcome.solution.stats.param_cache_misses > 0
+        assert personalizer.param_cache.invalidations >= 1
+
+    def test_cache_disabled_when_zero_capacity(self, movie_db, movie_profile):
+        personalizer = Personalizer(movie_db, param_cache=ParameterCache(capacity=0))
+        problem = CQPProblem.problem2(cmax=100.0)
+        personalizer.personalize("select title from MOVIE", movie_profile, problem)
+        outcome = personalizer.personalize(
+            "select title from MOVIE", movie_profile, problem
+        )
+        assert outcome.solution is not None
+        assert outcome.solution.stats.param_cache_hits == 0
+        assert outcome.solution.stats.param_cache_misses > 0

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.context import SearchContext
 from repro.core.problem import CQPProblem
-from repro.core.service import PersonalizationService
+from repro.core.service import BatchRequest, PersonalizationService
 from repro.errors import PreferenceError
 from repro.preferences.model import SelectionCondition
 
@@ -134,3 +134,131 @@ class TestLearning:
     def test_invalid_relearn_every(self, movie_db):
         with pytest.raises(ValueError):
             PersonalizationService(movie_db, relearn_every=-1)
+
+    def test_learning_config_not_shared_between_services(self, movie_db):
+        # A mutable default LearningConfig instance shared by every
+        # service would leak tuning between tenants.
+        first = PersonalizationService(movie_db)
+        second = PersonalizationService(movie_db)
+        assert first.learning_config is not second.learning_config
+        explicit = first.learning_config
+        third = PersonalizationService(movie_db, learning_config=explicit)
+        assert third.learning_config is explicit
+
+
+class TestRequestMany:
+    PROBLEM = CQPProblem.problem2(cmax=150.0)
+
+    def _batch(self, users, queries, repeats=1):
+        return [
+            BatchRequest(user=user, query=query, problem=self.PROBLEM)
+            for _ in range(repeats)
+            for user in users
+            for query in queries
+        ]
+
+    def test_matches_sequential_requests(self, movie_db, movie_profile):
+        batch_service = PersonalizationService(movie_db)
+        loop_service = PersonalizationService(movie_db)
+        for svc in (batch_service, loop_service):
+            svc.register("al", movie_profile)
+            svc.register("bo")
+        queries = ["select title from MOVIE", "select title from MOVIE where year >= 1990"]
+        batch = self._batch(["al", "bo"], queries)
+        responses = batch_service.request_many(batch)
+        assert len(responses) == len(batch)
+        for req, response in zip(batch, responses):
+            expected = loop_service.request(req.user, req.query, problem=req.problem)
+            assert response.user == req.user
+            assert response.personalized == expected.personalized
+            assert response.outcome.sql == expected.outcome.sql
+            assert response.rows == expected.rows
+
+    def test_duplicates_share_one_solve(self, movie_db, movie_profile):
+        service = PersonalizationService(movie_db)
+        service.register("al", movie_profile)
+        batch = self._batch(["al"], ["select title from MOVIE"], repeats=4)
+        responses = service.request_many(batch)
+        assert len(responses) == 4
+        first = responses[0]
+        for response in responses[1:]:
+            # One shared outcome object per group, not four equal ones.
+            assert response.outcome is first.outcome
+            assert response.rows == first.rows
+        # Every request still logged individually.
+        assert len(service.query_log_of("al")) == 4
+
+    def test_responses_keep_input_order(self, movie_db, movie_profile):
+        service = PersonalizationService(movie_db)
+        service.register("al", movie_profile)
+        service.register("bo", movie_profile)
+        batch = [
+            BatchRequest("al", "select title from MOVIE", problem=self.PROBLEM),
+            BatchRequest("bo", "select title from MOVIE", problem=self.PROBLEM),
+            BatchRequest("al", "select title from MOVIE", problem=self.PROBLEM),
+        ]
+        responses = service.request_many(batch)
+        assert [r.user for r in responses] == ["al", "bo", "al"]
+        assert responses[0].outcome is responses[2].outcome
+        assert responses[0].outcome is not responses[1].outcome
+
+    def test_threaded_matches_serial(self, movie_db, movie_profile):
+        serial = PersonalizationService(movie_db)
+        threaded = PersonalizationService(movie_db)
+        for svc in (serial, threaded):
+            svc.register("al", movie_profile)
+            svc.register("bo")
+        queries = ["select title from MOVIE", "select title from MOVIE where year >= 1990"]
+        batch = self._batch(["al", "bo"], queries)
+        serial_responses = serial.request_many(batch)
+        threaded_responses = threaded.request_many(batch, max_workers=4)
+        for a, b in zip(serial_responses, threaded_responses):
+            assert a.user == b.user
+            assert a.outcome.sql == b.outcome.sql
+            assert a.rows == b.rows
+
+    def test_execute_false_skips_rows(self, movie_db, movie_profile):
+        service = PersonalizationService(movie_db)
+        service.register("al", movie_profile)
+        responses = service.request_many(
+            self._batch(["al"], ["select title from MOVIE"]), execute=False
+        )
+        assert responses[0].rows == []
+        assert responses[0].personalized
+
+    def test_context_resolution_and_errors(self, movie_db, movie_profile):
+        service = PersonalizationService(movie_db)
+        service.register("al", movie_profile)
+        with pytest.raises(PreferenceError):
+            service.request_many([BatchRequest("al", "select title from MOVIE")])
+        with pytest.raises(PreferenceError):
+            service.request_many(
+                [BatchRequest("ghost", "select title from MOVIE", problem=self.PROBLEM)]
+            )
+        # Failed batches must not have logged anything.
+        assert service.query_log_of("al") == []
+        responses = service.request_many(
+            [
+                BatchRequest(
+                    "al",
+                    "select title from MOVIE",
+                    context=SearchContext(device="desktop", time_budget_ms=150.0),
+                )
+            ]
+        )
+        assert responses[0].outcome.problem.table1_number() == 2
+
+    def test_batch_boundary_learning(self, movie_db):
+        service = PersonalizationService(movie_db, relearn_every=2)
+        service.register("cara")
+        genre = movie_db.table("GENRE").column("genre")[0]
+        query = (
+            "select title from MOVIE M, GENRE G "
+            "where M.mid = G.mid and G.genre = '%s'" % genre
+        )
+        problem = CQPProblem.problem2(cmax=1e9)
+        service.request_many(
+            [BatchRequest("cara", query, problem=problem) for _ in range(2)]
+        )
+        learned = service.profile_of("cara")
+        assert learned.get(SelectionCondition("GENRE", "genre", genre)) is not None
