@@ -1,12 +1,15 @@
-"""Performance smoke check (opt-in, marker ``perfsmoke``).
+"""Performance smoke check (opt-in, markers ``perfsmoke`` / ``tier2``).
 
-A tiny K=15 workload asserting the PR's cache machinery actually pays:
+A tiny K=15 workload asserting the cache machinery actually pays:
 
 * warm-cache preference-space extraction must beat cold extraction by a
   sanity margin (pricing dominates extraction, so a working cache shows
   up immediately);
 * the cache counters must prove *why* — the warm pass re-prices
-  nothing.
+  nothing;
+* columnar execution with shared base frames must beat the row engine
+  on the same personalized queries, with identical rows and receipts
+  (the gate that frame reuse stays profitable).
 
 Timing assertions are kept deliberately loose (best-of-N, 0.9x margin)
 so the check catches "the cache stopped working", not scheduler noise.
@@ -46,6 +49,7 @@ def _workload():
 
 
 @pytest.mark.perfsmoke
+@pytest.mark.tier2
 def test_warm_extraction_beats_cold():
     database, profile, query = _workload()
     constraints = CQPProblem.problem2(cmax=400.0).constraints
@@ -78,6 +82,7 @@ def test_warm_extraction_beats_cold():
 
 
 @pytest.mark.perfsmoke
+@pytest.mark.tier2
 def test_batched_beats_request_loop():
     database, profile, query = _workload()
     problem = CQPProblem.problem2(cmax=400.0)
@@ -107,6 +112,72 @@ def test_batched_beats_request_loop():
     assert batch_time <= loop_time * WARM_MARGIN, (
         "batched %.4fs not faster than the request loop %.4fs"
         % (batch_time, loop_time)
+    )
+
+
+@pytest.mark.perfsmoke
+@pytest.mark.tier2
+def test_columnar_shared_beats_row_engine():
+    """The execution-engine gate: columnar + shared base frames must not
+    be slower than the row engine on the smoke workload's personalized
+    queries — and must return the same rows for the same receipts."""
+    from collections import Counter
+
+    from repro.core.personalizer import Personalizer
+    from repro.sql.columnar import ColumnarExecutor, FrameCache
+    from repro.sql.executor import Executor
+    from repro.sql.plan_executor import PlanExecutor
+    from repro.sql.planner import Planner
+
+    database, profile, _ = _workload()
+    problem = CQPProblem.problem2(cmax=400.0)
+    personalizer = Personalizer(database, engine="row")
+    targets = [
+        personalizer.personalize(query, profile, problem, k_limit=K).personalized_query
+        for query in generate_queries(count=3, seed=0)
+    ]
+
+    row_engine = Executor(database)
+    columnar = ColumnarExecutor(database)
+
+    # Deterministic part first: same rows and blocks as the reference
+    # executor, bit-identical receipt vs the plan interpreter (the
+    # FROM-order reference may join in a different order, which moves
+    # rows_processed but never blocks or results), frames shared.
+    cache = FrameCache()
+    for target in targets:
+        row_result = row_engine.execute(target)
+        planned = PlanExecutor(database).execute(Planner(database).plan(target))
+        col_result = columnar.execute(target, frame_cache=cache)
+        assert Counter(col_result.rows) == Counter(row_result.rows)
+        assert col_result.blocks_read == row_result.blocks_read
+        assert col_result.rows == planned.rows
+        assert col_result.blocks_read == planned.blocks_read
+        assert col_result.rows_processed == planned.rows_processed
+    assert cache.hits > 0
+
+    def run_row():
+        for target in targets:
+            row_engine.execute(target)
+
+    def run_columnar_shared():
+        shared = FrameCache()
+        for target in targets:
+            columnar.execute(target, frame_cache=shared)
+
+    row_times, columnar_times = [], []
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        run_row()
+        row_times.append(time.perf_counter() - started)
+        started = time.perf_counter()
+        run_columnar_shared()
+        columnar_times.append(time.perf_counter() - started)
+
+    row_best, columnar_best = min(row_times), min(columnar_times)
+    assert columnar_best <= row_best * WARM_MARGIN, (
+        "columnar+shared %.4fs not faster than the row engine %.4fs"
+        % (columnar_best, row_best)
     )
 
 

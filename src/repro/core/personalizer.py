@@ -72,12 +72,16 @@ class Personalizer:
         default_algorithm: str = "c_maxbounds",
         param_cache: Optional[ParameterCache] = None,
         mask_kernel: bool = True,
+        engine: str = "columnar",
     ) -> None:
         """``param_cache`` memoizes per-path pricing across requests; one
         is created per Personalizer when not given (pass a shared
         instance to pool across personalizers, or a 0-capacity cache to
         disable). ``mask_kernel=False`` falls back to the tuple
-        evaluation kernel (identical results, slower — benchmarks)."""
+        evaluation kernel (identical results, slower — benchmarks).
+        ``engine="row"`` restores the row-at-a-time executor instead of
+        the columnar kernel (identical rows and cost receipts — the
+        execution-engine ablation)."""
         if not database.analyzed:
             database.analyze()
         self.database = database
@@ -85,7 +89,8 @@ class Personalizer:
         self.default_algorithm = default_algorithm
         self.param_cache = param_cache if param_cache is not None else ParameterCache()
         self.mask_kernel = mask_kernel
-        self.executor = Executor(database)
+        self.engine = engine
+        self.executor = Executor(database, engine=engine)
 
     def invalidate_caches(self) -> None:
         """Drop cross-request pricing state (call after mutating the
@@ -158,9 +163,17 @@ class Personalizer:
             preference_space=pspace,
         )
 
-    def execute(self, outcome: PersonalizationOutcome) -> ExecutionResult:
-        """Run the outcome's (personalized) query on the database."""
-        return self.executor.execute(outcome.personalized_query)
+    def execute(
+        self, outcome: PersonalizationOutcome, frame_cache=None
+    ) -> ExecutionResult:
+        """Run the outcome's (personalized) query on the database.
+
+        ``frame_cache`` (a :class:`repro.sql.columnar.FrameCache`)
+        extends the columnar engine's base-frame sharing beyond this one
+        statement — the batched service path passes one per batch. The
+        row engine ignores it.
+        """
+        return self.executor.execute(outcome.personalized_query, frame_cache=frame_cache)
 
     def explain(self, outcome: PersonalizationOutcome, use_indexes: bool = False) -> str:
         """EXPLAIN-style plan tree for the outcome's query.

@@ -19,7 +19,7 @@ as the search context at the time of the request."
 from __future__ import annotations
 
 from concurrent.futures import Executor as PoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.context import SearchContext, problem_for_context
@@ -31,6 +31,7 @@ from repro.preferences.composition import DoiAlgebra, PRODUCT_ALGEBRA
 from repro.preferences.learning import LearningConfig, learn_profile, merge_profiles
 from repro.preferences.profile import UserProfile
 from repro.sql.ast_nodes import SelectQuery
+from repro.sql.columnar import FrameCache
 from repro.sql.parser import parse_select
 from repro.sql.printer import to_sql
 from repro.storage.database import Database
@@ -39,12 +40,25 @@ from repro.storage.table import Row
 
 @dataclass
 class ServiceResponse:
-    """What one request returns: the answer plus how it was produced."""
+    """What one request returns: the answer plus how it was produced.
+
+    ``rows`` is an immutable tuple; duplicate requests in one
+    ``request_many`` batch share the *same* tuple rather than copying
+    the result per member. The trailing counters surface the execution
+    engine's sharing behaviour (see :mod:`repro.sql.columnar`): frame
+    cache traffic, UNION ALL branches answered incrementally from a
+    shared base frame, and rows filtered vectorized vs row-at-a-time.
+    """
 
     user: str
     outcome: PersonalizationOutcome
-    rows: List[Row]
+    rows: Tuple[Row, ...]
     elapsed_ms: float
+    frame_cache_hits: int = 0
+    frame_cache_misses: int = 0
+    branches_incremental: int = 0
+    rows_filtered_vectorized: int = 0
+    rows_filtered_rowwise: int = 0
 
     @property
     def personalized(self) -> bool:
@@ -82,16 +96,23 @@ class PersonalizationService:
         learning_weight: float = 0.3,
         param_cache: Optional[ParameterCache] = None,
         mask_kernel: bool = True,
+        engine: str = "columnar",
     ) -> None:
         """``relearn_every``: after that many requests a user's profile is
         re-blended with one learned from their query log (0 = never).
         ``learning_config`` defaults to a fresh :class:`LearningConfig`
         per service (never a shared instance). ``param_cache`` /
-        ``mask_kernel`` are forwarded to the :class:`Personalizer`."""
+        ``mask_kernel`` / ``engine`` are forwarded to the
+        :class:`Personalizer` (``engine="row"`` restores the
+        row-at-a-time execution path)."""
         if relearn_every < 0:
             raise ValueError("relearn_every must be >= 0")
         self.personalizer = Personalizer(
-            database, algebra=algebra, param_cache=param_cache, mask_kernel=mask_kernel
+            database,
+            algebra=algebra,
+            param_cache=param_cache,
+            mask_kernel=mask_kernel,
+            engine=engine,
         )
         self.relearn_every = relearn_every
         self.learning_config = (
@@ -172,14 +193,37 @@ class PersonalizationService:
             query, state.profile, problem, algorithm=algorithm, k_limit=k_limit
         )
         if not execute:
-            return ServiceResponse(user=user, outcome=outcome, rows=[], elapsed_ms=0.0)
+            return ServiceResponse(user=user, outcome=outcome, rows=(), elapsed_ms=0.0)
         result = self.personalizer.execute(outcome)
+        self._fold_exec_stats(outcome, result)
+        return self._response(user, outcome, result)
+
+    @staticmethod
+    def _response(user, outcome, result) -> ServiceResponse:
         return ServiceResponse(
             user=user,
             outcome=outcome,
-            rows=result.rows,
+            rows=tuple(result.rows),
             elapsed_ms=result.elapsed_ms,
+            frame_cache_hits=result.frame_cache_hits,
+            frame_cache_misses=result.frame_cache_misses,
+            branches_incremental=result.branches_incremental,
+            rows_filtered_vectorized=result.rows_filtered_vectorized,
+            rows_filtered_rowwise=result.rows_filtered_rowwise,
         )
+
+    @staticmethod
+    def _fold_exec_stats(outcome: PersonalizationOutcome, result) -> None:
+        """Mirror the execution counters onto the solution's stats record
+        so search- and execution-side instrumentation travel together."""
+        if outcome.solution is None:
+            return
+        stats = outcome.solution.stats
+        stats.frame_cache_hits += result.frame_cache_hits
+        stats.frame_cache_misses += result.frame_cache_misses
+        stats.branches_incremental += result.branches_incremental
+        stats.rows_filtered_vectorized += result.rows_filtered_vectorized
+        stats.rows_filtered_rowwise += result.rows_filtered_rowwise
 
     # -- the batched request path --------------------------------------------------
 
@@ -201,12 +245,18 @@ class PersonalizationService:
 
         ``max_workers > 1`` fans the per-group personalization out on a
         :class:`ThreadPoolExecutor`; execution stays serial because the
-        block-device I/O tally is shared. Learning bookkeeping happens at
-        the batch boundary: all queries are logged first and due
-        relearns run once per user *before* any group is solved, so a
-        batch observes one consistent profile per user.
+        block-device I/O tally is shared, but all groups execute against
+        one batch-scoped frame cache: the columnar engine computes the
+        frame of any shared plan prefix (typically the base query's
+        scans and joins) once and every other group reuses it, frames
+        being immutable. Learning bookkeeping happens at the batch
+        boundary: all queries are logged first and due relearns run once
+        per user *before* any group is solved, so a batch observes one
+        consistent profile per user.
 
-        Returns responses in the order of ``requests``.
+        Returns responses in the order of ``requests``; duplicate
+        members of a group share one immutable rows tuple (no per-member
+        copies).
         """
         specs: List[Tuple[str, SelectQuery, CQPProblem, Optional[str], Optional[int]]] = []
         for req in requests:
@@ -254,21 +304,22 @@ class PersonalizationService:
         else:
             outcomes = [personalize_group(members) for members in member_lists]
 
+        batch_frames = FrameCache() if execute else None
         responses: List[Optional[ServiceResponse]] = [None] * len(specs)
         for members, outcome in zip(member_lists, outcomes):
-            if execute:
-                result = self.personalizer.execute(outcome)
-                rows, elapsed_ms = result.rows, result.elapsed_ms
-            else:
-                rows, elapsed_ms = [], 0.0
             user = specs[members[0]][0]
-            for position in members:
-                responses[position] = ServiceResponse(
-                    user=user,
-                    outcome=outcome,
-                    rows=list(rows),
-                    elapsed_ms=elapsed_ms,
+            if execute:
+                result = self.personalizer.execute(outcome, frame_cache=batch_frames)
+                self._fold_exec_stats(outcome, result)
+                template = self._response(user, outcome, result)
+            else:
+                template = ServiceResponse(
+                    user=user, outcome=outcome, rows=(), elapsed_ms=0.0
                 )
+            # One immutable rows tuple per group, shared by every member
+            # (replaces the old per-member list(rows) copies).
+            for position in members:
+                responses[position] = replace(template)
         return responses  # type: ignore[return-value]
 
     # -- learning -----------------------------------------------------------------

@@ -40,6 +40,17 @@ class SearchStats:
     # extraction (see repro.core.param_cache); 0/0 when no cache is wired.
     param_cache_hits: int = 0
     param_cache_misses: int = 0
+    # Execution-side counters, folded in by the service after the
+    # personalized query runs (see repro.sql.columnar): base-frame cache
+    # traffic, UNION ALL branches answered incrementally from a shared
+    # frame, and rows pushed through filters vectorized vs one at a
+    # time. All zero until execution (and for the row engine the
+    # vectorized/frame counters stay zero).
+    frame_cache_hits: int = 0
+    frame_cache_misses: int = 0
+    branches_incremental: int = 0
+    rows_filtered_vectorized: int = 0
+    rows_filtered_rowwise: int = 0
     _containers: Dict[str, Callable[[], int]] = field(default_factory=dict, repr=False)
 
     # -- counters -----------------------------------------------------------------
@@ -102,6 +113,11 @@ class SearchStats:
         self.wall_time_s += other.wall_time_s
         self.param_cache_hits += other.param_cache_hits
         self.param_cache_misses += other.param_cache_misses
+        self.frame_cache_hits += other.frame_cache_hits
+        self.frame_cache_misses += other.frame_cache_misses
+        self.branches_incremental += other.branches_incremental
+        self.rows_filtered_vectorized += other.rows_filtered_vectorized
+        self.rows_filtered_rowwise += other.rows_filtered_rowwise
 
 
 def container_bytes(container: Sequence[Tuple[int, ...]]) -> int:

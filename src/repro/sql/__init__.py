@@ -19,6 +19,7 @@ from repro.sql.ast_nodes import (
     UnionAllQuery,
 )
 from repro.sql.cardinality import CardinalityEstimator
+from repro.sql.columnar import ColumnarExecutor, ColumnFrame, FrameCache
 from repro.sql.cost import CostModel, IndexAwareCostModel
 from repro.sql.executor import ExecutionResult, Executor
 from repro.sql.parser import parse_select
@@ -29,9 +30,12 @@ from repro.sql.printer import to_sql
 
 __all__ = [
     "CardinalityEstimator",
+    "ColumnarExecutor",
+    "ColumnFrame",
     "ColumnRef",
     "Comparison",
     "CostModel",
+    "FrameCache",
     "ExecutionResult",
     "Executor",
     "GroupByHavingCount",

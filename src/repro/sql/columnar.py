@@ -1,0 +1,669 @@
+"""Columnar execution kernel with shared base-frame reuse.
+
+The row engines (:mod:`repro.sql.executor`, :mod:`repro.sql.plan_executor`)
+evaluate one tuple at a time and rebuild every scan, hash table, and join
+pipeline per query — even though each personalized candidate
+``Qx = Q AND Px`` shares the base query ``Q``, and the final Formula (6)
+answer is a UNION ALL of progressively personalized variants of the
+*same* query. This module exploits that structure:
+
+* :class:`ColumnFrame` — parallel column value lists plus an optional
+  *selection vector* (ordered row indices). Filters never copy data;
+  they narrow the selection. Frames are immutable once built, so they
+  can be shared freely across query branches and across requests.
+* :class:`ColumnarExecutor` — vectorized scan / filter / hash-join /
+  project / distinct / sort / limit / group-having operators driven by
+  the existing :class:`~repro.sql.plan.PlanNode` tree, so planning is
+  unchanged and the block-I/O cost receipts stay identical to the row
+  engine: the same ``blocks_read`` / ``io_ms`` / ``cpu_ms`` /
+  ``rows_processed``, with ``cpu_ms_per_row`` charged per selected row
+  exactly as today.
+* :class:`FrameCache` — the shared base-frame cache. Within one UNION
+  ALL statement (and, when a cache is passed in, across the statements
+  of one ``request_many`` batch) the frame produced by a common plan
+  prefix — the base query's scans, pushed-down filters, and joins — is
+  computed once; each personalized branch applies only its extra
+  preference predicates as incremental selection-vector filters.
+
+Frame reuse is a *wall-clock* optimization only: on every cache hit the
+executor re-charges the receipt the row engine would have produced for
+that subtree (scans per the ``shared_scans`` setting, index probes and
+join/sort/group work always), so the Formula (6) cost semantics and the
+``shared_scans`` ablation are preserved bit-for-bit. See
+``docs/ALGORITHMS.md`` ("Execution engine").
+"""
+
+from __future__ import annotations
+
+import operator as _op
+from collections import Counter, OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ExecutionError, SQLError
+from repro.sql.ast_nodes import Comparison, Literal, Operator, QueryNode
+from repro.sql.executor import DEFAULT_CPU_MS_PER_ROW, ExecutionResult
+from repro.sql.plan import (
+    DistinctNode,
+    FilterNode,
+    GroupHavingCountNode,
+    HashJoinNode,
+    IndexProbeNode,
+    LimitNode,
+    NestedLoopJoinNode,
+    PlanNode,
+    ProjectNode,
+    ScanNode,
+    SortNode,
+    UnionAllNode,
+)
+from repro.sql.planner import Planner, resolve_column
+from repro.storage.database import Database
+from repro.storage.table import Row
+
+_OPERATOR_FN = {
+    Operator.EQ: _op.eq,
+    Operator.NE: _op.ne,
+    Operator.LT: _op.lt,
+    Operator.LE: _op.le,
+    Operator.GT: _op.gt,
+    Operator.GE: _op.ge,
+}
+
+
+class ColumnFrame:
+    """An immutable columnar batch: parallel columns + selection vector.
+
+    ``data`` holds one value list per column; ``sel`` is an ordered list
+    of row indices into those lists (``None`` means all rows in storage
+    order). Operators that only drop rows (filters, limits, sorts,
+    distinct) share ``data`` and produce a new ``sel``; operators that
+    build new rows (joins, unions, grouping) materialize fresh columns.
+    """
+
+    __slots__ = ("columns", "data", "sel", "_rows_memo")
+
+    def __init__(
+        self,
+        columns: Sequence[str],
+        data: Sequence[List[object]],
+        sel: Optional[List[int]] = None,
+    ) -> None:
+        self.columns: Tuple[str, ...] = tuple(columns)
+        self.data: Tuple[List[object], ...] = tuple(data)
+        self.sel = sel
+        self._rows_memo: Optional[List[Row]] = None
+
+    @property
+    def n_rows(self) -> int:
+        if self.sel is not None:
+            return len(self.sel)
+        return len(self.data[0]) if self.data else 0
+
+    def selection(self) -> List[int]:
+        """The selection vector, materialized (all rows when ``sel`` is None)."""
+        if self.sel is not None:
+            return self.sel
+        return list(range(len(self.data[0]))) if self.data else []
+
+    def column_values(self, position: int) -> List[object]:
+        """One column's selected values, in selection order."""
+        column = self.data[position]
+        if self.sel is None:
+            return column  # shared — callers must not mutate
+        return [column[i] for i in self.sel]
+
+    def rows(self) -> List[Row]:
+        """Row-major materialization (memoized; returns a fresh list)."""
+        if self._rows_memo is None:
+            if self.sel is None:
+                self._rows_memo = list(zip(*self.data)) if self.data else []
+            else:
+                data = self.data
+                self._rows_memo = [
+                    tuple(column[i] for column in data) for i in self.sel
+                ]
+        return list(self._rows_memo)
+
+
+def plan_key(node: PlanNode) -> Tuple:
+    """Structural identity of a plan subtree — the frame-cache key.
+
+    Two subtrees with equal keys compute the same frame on the same
+    database snapshot. All embedded values (conditions, literals, sort
+    keys) are hashable by construction.
+    """
+    if isinstance(node, ScanNode):
+        return ("scan", node.relation, node.binding)
+    if isinstance(node, IndexProbeNode):
+        return ("probe", node.relation, node.binding, node.attribute, node.value)
+    if isinstance(node, FilterNode):
+        return ("filter", node.conditions, plan_key(node.child))
+    if isinstance(node, HashJoinNode):
+        return (
+            "hashjoin",
+            node.left_column,
+            node.right_column,
+            plan_key(node.left),
+            plan_key(node.right),
+        )
+    if isinstance(node, NestedLoopJoinNode):
+        return ("nloop", node.conditions, plan_key(node.left), plan_key(node.right))
+    if isinstance(node, ProjectNode):
+        return ("project", node.columns, node.output_names, plan_key(node.child))
+    if isinstance(node, DistinctNode):
+        return ("distinct", plan_key(node.child))
+    if isinstance(node, SortNode):
+        return ("sort", node.keys, plan_key(node.child))
+    if isinstance(node, LimitNode):
+        return ("limit", node.limit, plan_key(node.child))
+    if isinstance(node, UnionAllNode):
+        return ("union",) + tuple(plan_key(child) for child in node.inputs)
+    if isinstance(node, GroupHavingCountNode):
+        return ("group", node.count, node.at_least, plan_key(node.child))
+    raise ExecutionError("no plan key for node %r" % (node,))
+
+
+@dataclass
+class _Tally:
+    """The cost receipt of one plan subtree, recorded on first execution.
+
+    Replayed on every frame-cache hit so reuse never changes the
+    simulated receipt: scans charge per the ``shared_scans`` setting
+    (skipped for relations already scanned in the current statement),
+    index probes and join/sort/group work re-charge unconditionally —
+    exactly what the row engine would have done re-executing the
+    subtree.
+    """
+
+    scans: List[Tuple[str, int, int]] = field(default_factory=list)  # (rel, blocks, rows)
+    probe_blocks: int = 0
+    probe_rows: int = 0
+    work_rows: int = 0
+
+    def absorb(self, other: "_Tally") -> None:
+        self.scans.extend(other.scans)
+        self.probe_blocks += other.probe_blocks
+        self.probe_rows += other.probe_rows
+        self.work_rows += other.work_rows
+
+
+class FrameCache:
+    """Shared base-frame cache: plan-subtree key → (frame, tally).
+
+    One instance spans whatever reuse scope its owner chooses: the
+    executor creates a throwaway per-statement cache when none is
+    passed (sharing across UNION ALL branches), and
+    ``PersonalizationService.request_many`` passes one batch-scoped
+    instance so identical prefixes are shared across the whole batch.
+    Entries are validated against the database's ``stats_token`` and
+    dropped wholesale when the data changes; eviction is LRU.
+    """
+
+    def __init__(self, capacity: int = 512) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0, got %r" % capacity)
+        self.capacity = capacity
+        self._entries: "OrderedDict[Tuple, Tuple[ColumnFrame, _Tally]]" = OrderedDict()
+        self._token: Optional[Tuple[int, int]] = None
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def validate(self, token: Tuple[int, int]) -> None:
+        """Flush all entries if the database snapshot changed."""
+        if self._token != token:
+            self._entries.clear()
+            self._token = token
+
+    def get(self, key: Tuple) -> Optional[Tuple[ColumnFrame, _Tally]]:
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+        else:
+            self.misses += 1
+        return entry
+
+    def put(self, key: Tuple, frame: ColumnFrame, tally: _Tally) -> None:
+        if self.capacity == 0:
+            return
+        self._entries[key] = (frame, tally)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def counters(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "entries": len(self._entries)}
+
+
+class ColumnarExecutor:
+    """Vectorized plan evaluation with receipt-identical cost metering.
+
+    Drop-in alternative to :class:`~repro.sql.executor.Executor` /
+    :class:`~repro.sql.plan_executor.PlanExecutor`: ``execute`` takes
+    any query node (planned through the ordinary
+    :class:`~repro.sql.planner.Planner`), ``execute_plan`` takes a
+    prepared plan. ``frame_reuse=False`` disables all caching — each
+    operator recomputes, the pure-vectorization ablation.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        shared_scans: bool = False,
+        cpu_ms_per_row: float = DEFAULT_CPU_MS_PER_ROW,
+        use_indexes: bool = False,
+        frame_reuse: bool = True,
+    ) -> None:
+        self.database = database
+        self.shared_scans = shared_scans
+        self.cpu_ms_per_row = cpu_ms_per_row
+        self.use_indexes = use_indexes
+        self.frame_reuse = frame_reuse
+        self._plan_cache: "OrderedDict[Tuple, PlanNode]" = OrderedDict()
+        # Per-execution state.
+        self._rows_processed = 0
+        self._scanned: set = set()
+        self._tallies: List[_Tally] = []
+        self._cache: Optional[FrameCache] = None
+        self._hits = 0
+        self._misses = 0
+        self._branches_incremental = 0
+        self._rows_filtered_vectorized = 0
+
+    # -- public API -----------------------------------------------------------
+
+    def plan(self, query: QueryNode) -> PlanNode:
+        """Plan ``query``, memoizing on the AST + statistics snapshot."""
+        key = (query, self.use_indexes, self.database.stats_token)
+        plan = self._plan_cache.get(key)
+        if plan is None:
+            plan = Planner(self.database, use_indexes=self.use_indexes).plan(query)
+            self._plan_cache[key] = plan
+            while len(self._plan_cache) > 128:
+                self._plan_cache.popitem(last=False)
+        return plan
+
+    def execute(
+        self, query: QueryNode, frame_cache: Optional[FrameCache] = None
+    ) -> ExecutionResult:
+        """Plan and execute ``query``; see :meth:`execute_plan`."""
+        return self.execute_plan(self.plan(query), frame_cache=frame_cache)
+
+    def execute_plan(
+        self, plan: PlanNode, frame_cache: Optional[FrameCache] = None
+    ) -> ExecutionResult:
+        """Execute a plan, metering I/O and per-selected-row CPU.
+
+        ``frame_cache`` extends base-frame sharing beyond this statement
+        (e.g. one cache per ``request_many`` batch); when omitted a
+        statement-scoped cache still shares frames across the UNION ALL
+        branches of this one query.
+        """
+        self._rows_processed = 0
+        self._scanned = set()
+        self._tallies = []
+        self._hits = self._misses = 0
+        self._branches_incremental = 0
+        self._rows_filtered_vectorized = 0
+        if self.frame_reuse:
+            cache = frame_cache if frame_cache is not None else FrameCache()
+            cache.validate(self.database.stats_token)
+        else:
+            cache = None
+        self._cache = cache
+        try:
+            with self.database.device.meter() as receipt:
+                frame = self._run(plan)
+        finally:
+            self._cache = None
+        return ExecutionResult(
+            columns=list(frame.columns),
+            rows=frame.rows(),
+            blocks_read=receipt.blocks_read,
+            io_ms=receipt.elapsed_ms,
+            cpu_ms=self._rows_processed * self.cpu_ms_per_row,
+            rows_processed=self._rows_processed,
+            frame_cache_hits=self._hits,
+            frame_cache_misses=self._misses,
+            branches_incremental=self._branches_incremental,
+            rows_filtered_vectorized=self._rows_filtered_vectorized,
+        )
+
+    # -- cost metering ---------------------------------------------------------
+
+    def _charge_scan(self, relation: str, blocks: int, rows: int) -> None:
+        if self._tallies:
+            self._tallies[-1].scans.append((relation, blocks, rows))
+        if self.shared_scans and relation in self._scanned:
+            return
+        self._scanned.add(relation)
+        self.database.device.charge(blocks)
+        self._rows_processed += rows
+
+    def _charge_probe(self, blocks: int, rows: int) -> None:
+        if self._tallies:
+            tally = self._tallies[-1]
+            tally.probe_blocks += blocks
+            tally.probe_rows += rows
+        self.database.device.charge(blocks)
+        self._rows_processed += rows
+
+    def _charge_work(self, rows: int) -> None:
+        if self._tallies:
+            self._tallies[-1].work_rows += rows
+        self._rows_processed += rows
+
+    def _apply_tally(self, tally: _Tally) -> None:
+        """Replay a cached subtree's receipt in the current statement."""
+        device = self.database.device
+        for relation, blocks, rows in tally.scans:
+            if self.shared_scans and relation in self._scanned:
+                continue
+            self._scanned.add(relation)
+            device.charge(blocks)
+            self._rows_processed += rows
+        if tally.probe_blocks:
+            device.charge(tally.probe_blocks)
+        self._rows_processed += tally.probe_rows + tally.work_rows
+        if self._tallies:
+            self._tallies[-1].absorb(tally)
+
+    # -- dispatch ---------------------------------------------------------------
+
+    def _run(self, node: PlanNode) -> ColumnFrame:
+        cache = self._cache
+        if cache is None:
+            handler = self._HANDLERS.get(type(node))
+            if handler is None:
+                raise ExecutionError("no handler for plan node %r" % (node,))
+            return handler(self, node)
+        key = plan_key(node)
+        entry = cache.get(key)
+        if entry is not None:
+            frame, tally = entry
+            self._apply_tally(tally)
+            self._hits += 1
+            return frame
+        handler = self._HANDLERS.get(type(node))
+        if handler is None:
+            raise ExecutionError("no handler for plan node %r" % (node,))
+        tally = _Tally()
+        self._tallies.append(tally)
+        try:
+            frame = handler(self, node)
+        finally:
+            self._tallies.pop()
+        if self._tallies:
+            self._tallies[-1].absorb(tally)
+        cache.put(key, frame, tally)
+        self._misses += 1
+        return frame
+
+    # -- leaves -----------------------------------------------------------------
+
+    def _run_scan(self, node: ScanNode) -> ColumnFrame:
+        table = self.database.table(node.relation)
+        columns = [
+            "%s.%s" % (node.binding, a) for a in table.relation.attribute_names
+        ]
+        self._charge_scan(node.relation, table.block_count, len(table))
+        return ColumnFrame(columns, table.column_arrays())
+
+    def _run_index_probe(self, node: IndexProbeNode) -> ColumnFrame:
+        index = self.database.index_on(node.relation, node.attribute)
+        if index is None:
+            raise ExecutionError(
+                "plan expects an index on %s.%s that does not exist"
+                % (node.relation, node.attribute)
+            )
+        rows = index.lookup(node.value)
+        self._charge_probe(index.lookup_blocks(node.value), len(rows))
+        relation = self.database.relation(node.relation)
+        columns = ["%s.%s" % (node.binding, a) for a in relation.attribute_names]
+        data: List[List[object]] = [
+            [row[position] for row in rows] for position in range(len(columns))
+        ]
+        return ColumnFrame(columns, data)
+
+    # -- filters ----------------------------------------------------------------
+
+    def _run_filter(self, node: FilterNode) -> ColumnFrame:
+        frame = self._run(node.child)
+        sel = frame.sel
+        for condition in node.conditions:
+            left = frame.data[resolve_column(frame.columns, condition.left)]
+            compare = _OPERATOR_FN[condition.op]
+            self._rows_filtered_vectorized += (
+                len(sel) if sel is not None else (len(left) if frame.data else 0)
+            )
+            if isinstance(condition.right, Literal):
+                value = condition.right.value
+                if value is None:
+                    sel = []
+                elif sel is None:
+                    sel = [
+                        i
+                        for i, v in enumerate(left)
+                        if v is not None and compare(v, value)
+                    ]
+                else:
+                    sel = [
+                        i
+                        for i in sel
+                        if (v := left[i]) is not None and compare(v, value)
+                    ]
+            else:
+                right = frame.data[resolve_column(frame.columns, condition.right)]
+                if sel is None:
+                    sel = [
+                        i
+                        for i, v in enumerate(left)
+                        if v is not None
+                        and right[i] is not None
+                        and compare(v, right[i])
+                    ]
+                else:
+                    sel = [
+                        i
+                        for i in sel
+                        if (v := left[i]) is not None
+                        and right[i] is not None
+                        and compare(v, right[i])
+                    ]
+        return ColumnFrame(frame.columns, frame.data, sel)
+
+    # -- joins ------------------------------------------------------------------
+
+    def _run_hash_join(self, node: HashJoinNode) -> ColumnFrame:
+        left = self._run(node.left)
+        right = self._run(node.right)
+        left_key = left.columns.index(node.left_column)
+        right_key = right.columns.index(node.right_column)
+        left_column = left.data[left_key]
+        buckets: Dict[object, List[int]] = {}
+        for i in left.selection():
+            key = left_column[i]
+            if key is not None:
+                buckets.setdefault(key, []).append(i)
+        right_column = right.data[right_key]
+        left_take: List[int] = []
+        right_take: List[int] = []
+        for j in right.selection():
+            key = right_column[j]
+            if key is None:
+                continue
+            matches = buckets.get(key)
+            if matches:
+                left_take.extend(matches)
+                right_take.extend([j] * len(matches))
+        data = [[column[i] for i in left_take] for column in left.data]
+        data.extend([column[j] for j in right_take] for column in right.data)
+        self._charge_work(len(left_take))
+        return ColumnFrame(left.columns + right.columns, data)
+
+    def _run_nested_loop(self, node: NestedLoopJoinNode) -> ColumnFrame:
+        left = self._run(node.left)
+        right = self._run(node.right)
+        columns = left.columns + right.columns
+        left_sel = left.selection()
+        right_sel = right.selection()
+        left_take: List[int] = []
+        right_take: List[int] = []
+        if node.conditions:
+            accessors = []
+            n_left = len(left.columns)
+            for condition in node.conditions:
+                lpos = resolve_column(columns, condition.left)
+                lookup_left = (
+                    (True, lpos) if lpos < n_left else (False, lpos - n_left)
+                )
+                if isinstance(condition.right, Literal):
+                    rhs = ("lit", condition.right.value)
+                else:
+                    rpos = resolve_column(columns, condition.right)
+                    rhs = (
+                        ("col", (True, rpos) if rpos < n_left else (False, rpos - n_left))
+                    )
+                accessors.append((lookup_left, _OPERATOR_FN[condition.op], rhs))
+
+            def value_of(side: Tuple[bool, int], i: int, j: int) -> object:
+                on_left, position = side
+                return left.data[position][i] if on_left else right.data[position][j]
+
+            for i in left_sel:
+                for j in right_sel:
+                    ok = True
+                    for left_side, compare, rhs in accessors:
+                        lv = value_of(left_side, i, j)
+                        rv = rhs[1] if rhs[0] == "lit" else value_of(rhs[1], i, j)
+                        if lv is None or rv is None or not compare(lv, rv):
+                            ok = False
+                            break
+                    if ok:
+                        left_take.append(i)
+                        right_take.append(j)
+        else:
+            for i in left_sel:
+                left_take.extend([i] * len(right_sel))
+                right_take.extend(right_sel)
+        data = [[column[i] for i in left_take] for column in left.data]
+        data.extend([column[j] for j in right_take] for column in right.data)
+        self._charge_work(len(left_take))
+        return ColumnFrame(columns, data)
+
+    # -- shaping ----------------------------------------------------------------
+
+    def _run_project(self, node: ProjectNode) -> ColumnFrame:
+        frame = self._run(node.child)
+        if not node.columns:
+            return frame
+        positions = []
+        for name in node.columns:
+            if name in frame.columns:
+                positions.append(frame.columns.index(name))
+            else:  # unqualified projection target
+                matches = [
+                    i
+                    for i, c in enumerate(frame.columns)
+                    if c.split(".", 1)[-1] == name
+                ]
+                if len(matches) != 1:
+                    raise ExecutionError(
+                        "cannot project %r from %s" % (name, list(frame.columns))
+                    )
+                positions.append(matches[0])
+        output = list(node.output_names) if node.output_names else list(node.columns)
+        return ColumnFrame(output, [frame.data[p] for p in positions], frame.sel)
+
+    def _run_distinct(self, node: DistinctNode) -> ColumnFrame:
+        frame = self._run(node.child)
+        data = frame.data
+        seen: set = set()
+        sel: List[int] = []
+        for i in frame.selection():
+            row = tuple(column[i] for column in data)
+            if row not in seen:
+                seen.add(row)
+                sel.append(i)
+        return ColumnFrame(frame.columns, data, sel)
+
+    def _run_sort(self, node: SortNode) -> ColumnFrame:
+        frame = self._run(node.child)
+        indices = frame.selection()
+        self._charge_work(len(indices))
+        key_positions = []
+        for name, descending in node.keys:
+            matches = [
+                i
+                for i, c in enumerate(frame.columns)
+                if c == name or c.split(".", 1)[-1] == name
+            ]
+            if len(matches) != 1:
+                raise ExecutionError(
+                    "cannot sort by %r in %s" % (name, list(frame.columns))
+                )
+            key_positions.append((matches[0], descending))
+        for position, descending in reversed(key_positions):
+            column = frame.data[position]
+            indices = sorted(
+                indices,
+                key=lambda i: (column[i] is None, column[i]),
+                reverse=descending,
+            )
+        return ColumnFrame(frame.columns, frame.data, indices)
+
+    def _run_limit(self, node: LimitNode) -> ColumnFrame:
+        frame = self._run(node.child)
+        return ColumnFrame(frame.columns, frame.data, frame.selection()[: node.limit])
+
+    def _run_union(self, node: UnionAllNode) -> ColumnFrame:
+        columns: Tuple[str, ...] = ()
+        parts: List[ColumnFrame] = []
+        for child in node.inputs:
+            hits_before = self._hits
+            frame = self._run(child)
+            if self._hits > hits_before:
+                self._branches_incremental += 1
+            if not columns:
+                columns = frame.columns
+            elif len(columns) != len(frame.columns):
+                raise SQLError("UNION ALL inputs disagree in arity")
+            parts.append(frame)
+        data: List[List[object]] = [[] for _ in columns]
+        for frame in parts:
+            for position in range(len(columns)):
+                data[position].extend(frame.column_values(position))
+        return ColumnFrame(columns, data)
+
+    def _run_group_having(self, node: GroupHavingCountNode) -> ColumnFrame:
+        frame = self._run(node.child)
+        data = frame.data
+        rows = [tuple(column[i] for column in data) for i in frame.selection()]
+        counts = Counter(rows)
+        self._charge_work(len(rows))
+        if node.at_least:
+            kept = [row for row, count in counts.items() if count >= node.count]
+        else:
+            kept = [row for row, count in counts.items() if count == node.count]
+        out: List[List[object]] = [
+            [row[position] for row in kept] for position in range(len(frame.columns))
+        ]
+        return ColumnFrame(frame.columns, out)
+
+    _HANDLERS = {
+        ScanNode: _run_scan,
+        IndexProbeNode: _run_index_probe,
+        FilterNode: _run_filter,
+        HashJoinNode: _run_hash_join,
+        NestedLoopJoinNode: _run_nested_loop,
+        ProjectNode: _run_project,
+        DistinctNode: _run_distinct,
+        SortNode: _run_sort,
+        LimitNode: _run_limit,
+        UnionAllNode: _run_union,
+        GroupHavingCountNode: _run_group_having,
+    }

@@ -46,7 +46,14 @@ from repro.storage.table import Row
 
 @dataclass
 class ExecutionResult:
-    """Rows plus the cost receipt of one statement execution."""
+    """Rows plus the cost receipt of one statement execution.
+
+    The trailing counters are execution-side diagnostics (not part of
+    the simulated cost): frame-cache traffic and incremental branches
+    are produced by the columnar engine only, the ``rows_filtered_*``
+    pair says how many rows each engine pushed through filter
+    predicates vectorized vs one tuple at a time.
+    """
 
     columns: List[str]
     rows: List[Row]
@@ -54,6 +61,11 @@ class ExecutionResult:
     io_ms: float = 0.0
     cpu_ms: float = 0.0
     rows_processed: int = 0
+    frame_cache_hits: int = 0
+    frame_cache_misses: int = 0
+    branches_incremental: int = 0
+    rows_filtered_vectorized: int = 0
+    rows_filtered_rowwise: int = 0
 
     @property
     def elapsed_ms(self) -> float:
@@ -105,6 +117,7 @@ class Executor:
         shared_scans: bool = False,
         cpu_ms_per_row: float = DEFAULT_CPU_MS_PER_ROW,
         use_indexes: bool = False,
+        engine: str = "row",
     ) -> None:
         self.database = database
         self.shared_scans = shared_scans
@@ -113,14 +126,38 @@ class Executor:
         # Enabling it lets equality selections probe any hash index the
         # database carries — the index ablation.
         self.use_indexes = use_indexes
+        if engine not in ("row", "columnar"):
+            raise ValueError("engine must be 'row' or 'columnar', got %r" % engine)
+        self.engine = engine
+        self._columnar = None
+        if engine == "columnar":
+            from repro.sql.columnar import ColumnarExecutor
+
+            self._columnar = ColumnarExecutor(
+                database,
+                shared_scans=shared_scans,
+                cpu_ms_per_row=cpu_ms_per_row,
+                use_indexes=use_indexes,
+            )
         self._rows_processed = 0
+        self._rows_filtered = 0
 
     # -- public API -----------------------------------------------------------
 
-    def execute(self, query: QueryNode) -> ExecutionResult:
-        """Execute any query node, metering its I/O and per-tuple CPU."""
+    def execute(self, query: QueryNode, frame_cache=None) -> ExecutionResult:
+        """Execute any query node, metering its I/O and per-tuple CPU.
+
+        With ``engine="columnar"`` evaluation is delegated to the
+        vectorized kernel (identical rows and cost receipts on the
+        supported query shapes); ``frame_cache`` then extends
+        base-frame sharing across statements and is ignored by the row
+        engine.
+        """
+        if self._columnar is not None:
+            return self._columnar.execute(query, frame_cache=frame_cache)
         scan_cache: Optional[Dict[str, List[Row]]] = {} if self.shared_scans else None
         self._rows_processed = 0
+        self._rows_filtered = 0
         with self.database.device.meter() as receipt:
             if isinstance(query, SelectQuery):
                 columns, rows = self._run_select(query, scan_cache)
@@ -137,6 +174,7 @@ class Executor:
             io_ms=receipt.elapsed_ms,
             cpu_ms=self._rows_processed * self.cpu_ms_per_row,
             rows_processed=self._rows_processed,
+            rows_filtered_rowwise=self._rows_filtered,
         )
 
     # -- scans ------------------------------------------------------------------
@@ -194,6 +232,7 @@ class Executor:
             for condition, left, right in local:
                 column = left[1]
                 value = condition.right.value  # type: ignore[union-attr]
+                self._rows_filtered += len(rows)
                 rows = [row for row in rows if condition.op.evaluate(row[column], value)]
 
             if position == 0:
@@ -305,8 +344,8 @@ class Executor:
                 rest.append(item)
         return applicable, rest
 
-    @staticmethod
-    def _filter(current, bound, condition, left, right):
+    def _filter(self, current, bound, condition, left, right):
+        self._rows_filtered += len(current)
         left_index = bound.index(left[0])
         if right is None:
             value = condition.right.value

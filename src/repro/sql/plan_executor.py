@@ -40,14 +40,33 @@ class PlanExecutor:
     """Evaluates :class:`PlanNode` trees."""
 
     def __init__(
-        self, database: Database, cpu_ms_per_row: float = DEFAULT_CPU_MS_PER_ROW
+        self,
+        database: Database,
+        cpu_ms_per_row: float = DEFAULT_CPU_MS_PER_ROW,
+        engine: str = "row",
     ) -> None:
         self.database = database
         self.cpu_ms_per_row = cpu_ms_per_row
-        self._rows_processed = 0
+        if engine not in ("row", "columnar"):
+            raise ValueError("engine must be 'row' or 'columnar', got %r" % engine)
+        self.engine = engine
+        self._columnar = None
+        if engine == "columnar":
+            from repro.sql.columnar import ColumnarExecutor
 
-    def execute(self, plan: PlanNode) -> ExecutionResult:
+            self._columnar = ColumnarExecutor(database, cpu_ms_per_row=cpu_ms_per_row)
         self._rows_processed = 0
+        self._rows_filtered = 0
+
+    def execute(self, plan: PlanNode, frame_cache=None) -> ExecutionResult:
+        """Evaluate ``plan``. With ``engine="columnar"`` the vectorized
+        kernel runs it instead (identical rows and receipts);
+        ``frame_cache`` then shares base frames across statements and is
+        ignored by the row interpreter."""
+        if self._columnar is not None:
+            return self._columnar.execute_plan(plan, frame_cache=frame_cache)
+        self._rows_processed = 0
+        self._rows_filtered = 0
         with self.database.device.meter() as receipt:
             columns, rows = self._run(plan)
         return ExecutionResult(
@@ -57,6 +76,7 @@ class PlanExecutor:
             io_ms=receipt.elapsed_ms,
             cpu_ms=self._rows_processed * self.cpu_ms_per_row,
             rows_processed=self._rows_processed,
+            rows_filtered_rowwise=self._rows_filtered,
         )
 
     # -- dispatch ---------------------------------------------------------------
@@ -112,6 +132,7 @@ class PlanExecutor:
             )
             positions.append((condition, left, right))
         kept = []
+        self._rows_filtered += len(rows)
         for row in rows:
             ok = True
             for condition, left, right in positions:

@@ -35,6 +35,7 @@ class Table:
         self.block_size = block_size
         self.rows_per_block = max(1, block_size // relation.row_width)
         self._rows: List[Row] = []
+        self._column_cache: Optional[Tuple[List[object], ...]] = None
         self._pk_index: Optional[Dict[object, int]] = None
         if relation.primary_key is not None:
             self._pk_index = {}
@@ -65,6 +66,7 @@ class Table:
                 )
             self._pk_index[key] = len(self._rows)
         self._rows.append(stored)
+        self._column_cache = None
         return stored
 
     def insert_many(self, rows: Sequence[Sequence[object]]) -> int:
@@ -97,6 +99,21 @@ class Table:
     def column(self, attribute_name: str) -> List[object]:
         position = self.relation.attribute_index(attribute_name)
         return [row[position] for row in self._rows]
+
+    def column_arrays(self) -> Tuple[List[object], ...]:
+        """All columns as parallel value lists, in attribute order.
+
+        The arrays are cached until the next insert and shared between
+        callers — treat them as immutable. This is the columnar
+        engine's scan source: reading a table costs a tuple copy of
+        pointers, not a per-row materialization.
+        """
+        if self._column_cache is None:
+            self._column_cache = tuple(
+                [row[position] for row in self._rows]
+                for position in range(len(self.relation.attributes))
+            )
+        return self._column_cache
 
     # -- block accounting ----------------------------------------------------
 

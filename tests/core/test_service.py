@@ -223,7 +223,7 @@ class TestRequestMany:
         responses = service.request_many(
             self._batch(["al"], ["select title from MOVIE"]), execute=False
         )
-        assert responses[0].rows == []
+        assert responses[0].rows == ()
         assert responses[0].personalized
 
     def test_context_resolution_and_errors(self, movie_db, movie_profile):
