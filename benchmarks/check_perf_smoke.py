@@ -5,6 +5,8 @@ A tiny K=15 workload asserting the cache machinery actually pays:
 * warm-cache preference-space extraction must beat cold extraction by a
   sanity margin (pricing dominates extraction, so a working cache shows
   up immediately);
+* a replayed constraint sweep with a shared frontier cache must beat
+  cold solves, with the hit counters proving phase 1 was skipped;
 * the cache counters must prove *why* — the warm pass re-prices
   nothing;
 * columnar execution with shared base frames must beat the row engine
@@ -77,6 +79,71 @@ def test_warm_extraction_beats_cold():
     cold, warm = min(cold_times), min(warm_times)
     assert warm <= cold * WARM_MARGIN, (
         "warm extraction %.4fs not faster than cold %.4fs by the %.0f%% margin"
+        % (warm, cold, 100 * (1 - WARM_MARGIN))
+    )
+
+
+@pytest.mark.perfsmoke
+@pytest.mark.tier2
+def test_warm_sweep_beats_cold_sweep():
+    """The frontier-cache gate: a replayed constraint sweep with a
+    shared :class:`FrontierCache` must beat cold solves — because the
+    counters prove the warm passes hit stored frontiers and skip the
+    boundary sweep (phase 1) outright."""
+    import random
+
+    from repro.core import adapters
+    from repro.core.frontier_cache import FrontierCache
+    from repro.workloads.scenarios import make_synthetic_pspace
+
+    rng = random.Random(3)
+    k = 14
+    pspace = make_synthetic_pspace(
+        [round(rng.uniform(0.2, 1.0), 3) for _ in range(k)],
+        [round(rng.uniform(5.0, 60.0), 1) for _ in range(k)],
+    )
+    supreme = pspace.supreme_cost()
+    stream = [
+        CQPProblem.problem2(cmax=(0.5 - 0.03 * step) * supreme) for step in range(10)
+    ]
+
+    def sweep(cache):
+        started = time.perf_counter()
+        solutions = [
+            adapters.solve(pspace, problem, "c_boundaries", frontier_cache=cache)
+            for problem in stream
+        ]
+        return time.perf_counter() - started, solutions
+
+    warm_cache = FrontierCache()
+    _, primer = sweep(warm_cache)  # prime once
+
+    cold_times, warm_times = [], []
+    cold_solutions = warm_solutions = None
+    for _ in range(ROUNDS):
+        elapsed, cold_solutions = sweep(None)
+        cold_times.append(elapsed)
+        elapsed, warm_solutions = sweep(warm_cache)
+        warm_times.append(elapsed)
+
+    # Deterministic part: identical solutions, and the warm passes hit
+    # stored frontiers for every limit — phase 1 never ran again.
+    def keys(solutions):
+        return [
+            None if s is None else (s.pref_indices, s.doi, s.cost)
+            for s in solutions
+        ]
+
+    assert keys(warm_solutions) == keys(cold_solutions) == keys(primer)
+    assert warm_cache.counters()["hits"] >= ROUNDS * len(stream)
+    assert all(s.stats.frontier_cache_hits == 1 for s in warm_solutions if s)
+    warm_examined = sum(s.stats.states_examined for s in warm_solutions if s)
+    cold_examined = sum(s.stats.states_examined for s in cold_solutions if s)
+    assert warm_examined < cold_examined
+
+    cold, warm = min(cold_times), min(warm_times)
+    assert warm <= cold * WARM_MARGIN, (
+        "warm sweep %.4fs not faster than cold %.4fs by the %.0f%% margin"
         % (warm, cold, 100 * (1 - WARM_MARGIN))
     )
 

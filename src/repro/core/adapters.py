@@ -125,6 +125,7 @@ def solve(
     problem: CQPProblem,
     algorithm: str = "c_maxbounds",
     mask_kernel: bool = True,
+    frontier_cache=None,
 ) -> Optional[CQPSolution]:
     """Solve any Table 1 problem over an extracted preference space.
 
@@ -134,8 +135,14 @@ def solve(
     Returns ``None`` when no personalized query satisfies the
     constraints. ``mask_kernel=False`` forces the legacy tuple
     evaluation kernel (benchmark ablations; results are identical).
+    A :class:`~repro.core.frontier_cache.FrontierCache` shares per-state
+    parameter evaluations across solves (every algorithm, including the
+    Problem 4-6 minimal-state search) and warm-starts the C-BOUNDARIES
+    sweep from frontiers recorded under looser limits.
     """
-    bundle = SpaceBundle(pspace, problem, mask_kernel=mask_kernel)
+    bundle = SpaceBundle(
+        pspace, problem, mask_kernel=mask_kernel, frontier_cache=frontier_cache
+    )
     if problem.objective is Parameter.DOI:
         space = space_for_algorithm(bundle, algorithm)
         return get_algorithm(algorithm).solve(space)

@@ -35,15 +35,19 @@ class PruneBook:
 
     The dominance test (is this state componentwise ≥ some recorded
     boundary of its group?) runs once per enqueue *and* dequeue, so it is
-    vectorized: boundaries of a group are stacked into one numpy matrix
-    and a state is checked against all of them in a single broadcast.
-    A state equal to a recorded boundary counts as "below" (covered).
+    vectorized: boundaries of a group live in a preallocated numpy
+    matrix that grows by doubling — appending a boundary writes one row
+    instead of re-stacking the group (which made boundary-heavy sweeps
+    rebuild O(boundaries²) rows). A state equal to a recorded boundary
+    counts as "below" (covered).
     """
+
+    _INITIAL_ROWS = 8
 
     def __init__(self) -> None:
         self._visited: Set[State] = set()
-        self._boundaries: Dict[int, List[State]] = {}
-        self._matrices: Dict[int, Optional[np.ndarray]] = {}
+        self._matrices: Dict[int, np.ndarray] = {}
+        self._counts: Dict[int, int] = {}
 
     def mark(self, state: State) -> None:
         self._visited.add(state)
@@ -52,17 +56,24 @@ class PruneBook:
         return state in self._visited
 
     def add_boundary(self, state: State) -> None:
-        self._boundaries.setdefault(len(state), []).append(state)
-        self._matrices[len(state)] = None  # invalidate the stacked matrix
+        group = len(state)
+        count = self._counts.get(group, 0)
+        matrix = self._matrices.get(group)
+        if matrix is None or count == matrix.shape[0]:
+            capacity = self._INITIAL_ROWS if matrix is None else 2 * matrix.shape[0]
+            grown = np.empty((capacity, group), dtype=np.int64)
+            if count:
+                grown[:count] = matrix[:count]
+            matrix = grown
+            self._matrices[group] = matrix
+        matrix[count] = state
+        self._counts[group] = count + 1
 
     def below_any_boundary(self, state: State) -> bool:
-        group = self._boundaries.get(len(state))
-        if not group:
+        count = self._counts.get(len(state), 0)
+        if not count:
             return False
-        matrix = self._matrices.get(len(state))
-        if matrix is None:
-            matrix = np.array(group, dtype=np.int64)
-            self._matrices[len(state)] = matrix
+        matrix = self._matrices[len(state)][:count]
         return bool((np.asarray(state, dtype=np.int64) >= matrix).all(axis=1).any())
 
     def prune(self, state: State) -> bool:
@@ -231,8 +242,14 @@ class CQPAlgorithm(ABC):
         stats = SearchStats(algorithm=self.name)
         evaluations_before = space.evaluator.evaluations
         watch = Stopwatch()
-        with watch:
-            indices = self._search(space, stats)
+        try:
+            with watch:
+                indices = self._search(space, stats)
+        finally:
+            # Detach the memory-accounting closures so the finished
+            # search's queues/boundary lists are not pinned alive
+            # through the returned stats record.
+            stats.release_containers()
         stats.wall_time_s = watch.elapsed
         # Parameter evaluations are tallied by the evaluator (cache hits
         # included — see CachedStateEvaluator), not by each algorithm.

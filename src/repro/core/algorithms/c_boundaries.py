@@ -9,12 +9,21 @@ finds every boundary (Theorem 1) and stops at the first group with none
 
 Phase 2 (``C_FINDMAXDOI``, shared in :mod:`base`) finds the best-doi
 node at or below the boundaries — the optimum, by Theorem 2.
+
+With a :class:`~repro.core.frontier_cache.FrontierMemo` attached to the
+space, phase 1 reuses earlier sweeps against the same space: an exact
+limit match skips the sweep outright, and a cached frontier of a
+*looser* limit seeds the sweep (``seeds=``) instead of the root — the
+resumed sweep expands only the region between the old and new
+boundaries. Both paths are exact; see the frontier-cache module
+docstring for the argument and ``tests/core/test_frontier_cache.py``
+for the property-based equivalence check.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.algorithms.base import (
     CQPAlgorithm,
@@ -22,13 +31,35 @@ from repro.core.algorithms.base import (
     find_max_doi_below,
     register,
 )
+from repro.core.algorithms.scheduler import vertical_by_budget
+from repro.core.frontier_cache import canonical_frontier
 from repro.core.space import SearchSpace
 from repro.core.state import State
 from repro.core.stats import SearchStats, container_bytes
 
 
-def find_boundaries(space: SearchSpace, stats: SearchStats) -> List[State]:
-    """Phase 1: the breadth-first boundary sweep."""
+def find_boundaries(
+    space: SearchSpace,
+    stats: SearchStats,
+    seeds: Optional[Sequence[State]] = None,
+) -> List[State]:
+    """Phase 1: the breadth-first boundary sweep.
+
+    ``seeds`` warm-starts the sweep: instead of the root ``(0,)``, the
+    queue begins at the given states (a canonical frontier recorded
+    under a looser limit, in ascending group order) and Horizontal
+    expansion is switched off. The feasible set of each group is
+    up-closed along Vertical moves, so every boundary under the tighter
+    limit dominates a cached seed *of its own group* and the connecting
+    Vertical chain runs only through states infeasible under the new
+    limit — exactly what the loop expands; a group without cached seeds
+    had no feasible state under the looser limit and therefore has none
+    now, so the cross-group Horizontal entries (only needed to *reach* a
+    group from the one before it) would merely re-explore regions the
+    seeds already cover. An *empty* seed sequence is meaningful: no
+    feasible state existed under the looser limit, so none exists now,
+    and the sweep returns immediately.
+    """
     boundaries: List[State] = []
     book = PruneBook()
     queue: "deque[State]" = deque()
@@ -37,9 +68,12 @@ def find_boundaries(space: SearchSpace, stats: SearchStats) -> List[State]:
 
     if space.k == 0:
         return boundaries
-    start: State = (0,)
-    book.mark(start)
-    queue.append(start)
+    warm = seeds is not None
+    if seeds is None:
+        seeds = ((0,),)
+    for seed in seeds:
+        book.mark(seed)
+        queue.append(seed)
     while queue:
         state = queue.popleft()
         stats.examined()
@@ -48,16 +82,18 @@ def find_boundaries(space: SearchSpace, stats: SearchStats) -> List[State]:
         if space.within_budget(state):
             boundaries.append(state)
             book.add_boundary(state)
+            if warm:
+                continue  # the next group is covered by its own seeds
             successor = space.horizontal(state)
             if successor is not None and not book.prune(successor):
                 stats.moved()
                 queue.append(successor)  # tail: next group, breadth-first
         else:
-            neighbors = space.vertical(state)
             # The paper orders Vertical neighbors by decreasing cost and
             # pushes them at the head so a group is finished before the
-            # next one starts.
-            neighbors.sort(key=space.budget_value, reverse=True)
+            # next one starts; the whole neighbor set is priced in one
+            # batched estimator call.
+            neighbors = vertical_by_budget(space, state, stats)
             for neighbor in reversed(neighbors):
                 if not book.prune(neighbor):
                     stats.moved()
@@ -77,5 +113,20 @@ class CBoundaries(CQPAlgorithm):
     def _search(
         self, space: SearchSpace, stats: SearchStats
     ) -> Optional[Tuple[int, ...]]:
-        boundaries = find_boundaries(space, stats)
-        return find_max_doi_below(space, boundaries, stats)
+        memo = space.frontier
+        if memo is None:
+            frontier = canonical_frontier(find_boundaries(space, stats))
+        else:
+            exact, seeds = memo.lookup(space.limit)
+            if exact is not None:
+                stats.frontier_cache_hits += 1
+                frontier = exact
+            else:
+                stats.frontier_cache_misses += 1
+                if seeds is not None:
+                    stats.states_warm_started += len(seeds)
+                frontier = canonical_frontier(
+                    find_boundaries(space, stats, seeds=seeds)
+                )
+                memo.store(space.limit, frontier)
+        return find_max_doi_below(space, frontier, stats)

@@ -236,6 +236,26 @@ class StateEvaluator:
         self.evaluations += 1
         return self.base_size * math.prod(self._gather(self.reductions, mask))
 
+    # -- batched mask entry points ----------------------------------------------------
+
+    def cost_mask_many(self, masks: Sequence[Mask]) -> List[float]:
+        """Costs of many mask states in one call.
+
+        Each value goes through the *scalar* kernel, so batched figures
+        are bit-identical to one-at-a-time calls — only the Python call
+        overhead is amortized. Subclasses hoist their caches here.
+        """
+        cost_mask = self.cost_mask
+        return [cost_mask(mask) for mask in masks]
+
+    def size_independent_mask_many(self, masks: Sequence[Mask]) -> List[float]:
+        """Independence-product sizes of many mask states in one call."""
+        self.evaluations += len(masks)
+        base = self.base_size
+        reductions = self.reductions
+        gather = self._gather
+        return [base * math.prod(gather(reductions, mask)) for mask in masks]
+
     def supreme_cost(self) -> float:
         """Cost of the query incorporating *all* preferences — the paper's
         Supreme Cost, the 100% point of the cmax sweeps."""
@@ -321,6 +341,27 @@ class CachedStateEvaluator(StateEvaluator):
 
     def size_mask(self, mask: Mask) -> float:
         return self._cached(self._size_cache, super().size_mask, mask)
+
+    def cost_mask_many(self, masks: Sequence[Mask]) -> List[float]:
+        """Batched :meth:`cost_mask` with the cache dict hoisted out of
+        the loop; counter semantics identical to :meth:`_cached` (hits
+        count as evaluations, misses bump inside the base kernel)."""
+        cache = self._cost_cache
+        compute = super().cost_mask
+        out: List[float] = []
+        hits = 0
+        for mask in masks:
+            value = cache.get(mask)
+            if value is None:
+                self.cache_misses += 1
+                value = compute(mask)
+                cache[mask] = value
+            else:
+                hits += 1
+            out.append(value)
+        self.cache_hits += hits
+        self.evaluations += hits
+        return out
 
     # -- tuple shims ------------------------------------------------------------------
 

@@ -1,0 +1,269 @@
+"""Cross-request frontier cache: warm-starting constraint sweeps.
+
+For a fixed (query, profile, statistics) triple the mapping from a
+state to its (doi, cost, size) parameters is constant — only the
+constraint test changes between CQP problems and between constraint
+values (Formulas 4, 7, 8; Table 1). :class:`FrontierCache` exploits
+that at two levels:
+
+* **Shared state evaluation** — one
+  :class:`~repro.core.estimation.CachedStateEvaluator` per preference-
+  space *signature* (the parameter arrays themselves — the resultant of
+  query, profile, and statistics), reused by every solve against that
+  space. A later solve with a different ``cmax``/``smin``/``smax``/
+  ``dmin`` re-derives no per-state parameter: every mask it touches is
+  already priced. This benefits **all** algorithms, including the
+  cost-minimization search of Problems 4–6.
+
+* **Frontier memoization** — the boundary frontier discovered by a
+  finished C-BOUNDARIES sweep is stored per (signature, rank vector,
+  budget axis, limit). A later solve with the *same* limit skips phase
+  1 entirely; a solve with a **tighter** limit warm-starts: the sweep
+  resumes downward from the cached boundaries instead of from the root,
+  skipping the whole infeasible region above them. Correctness rests on
+  the monotone transition effects (Propositions 4–5): in a
+  budget-aligned space every boundary under the tighter limit lies
+  below some boundary of the looser one, and the connecting Vertical
+  chains pass only through states that are infeasible under the tighter
+  limit — exactly the states the resumed sweep expands. A looser limit
+  finds no seed (its boundaries lie *above* the cached ones, outside
+  the cached frontier's cones) and falls back to a cold sweep that
+  still rides the shared evaluator.
+
+Frontiers are stored in **canonical** form — dominance-reduced to the
+true minimal boundary set and ordered by (group, rank tuple) — so the
+stored frontier is a property of the (space, limit) pair alone, not of
+any particular sweep's discovery order.
+
+Invalidation mirrors :class:`~repro.core.param_cache.ParameterCache`:
+entries are tagged with the owning ``Database.stats_token`` and the
+first :meth:`validate` after the token changes flushes everything;
+:meth:`invalidate` is the explicit out-of-band hook. The cache is
+thread-safe; solutions are schedule-independent (warm-started searches
+are equivalence-guaranteed), though the per-solve *work counters* may
+vary with which request warms the cache first.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.estimation import CachedStateEvaluator
+from repro.core.state import State
+
+DEFAULT_EVALUATORS = 256
+DEFAULT_FRONTIERS = 256
+FRONTIER_LIMITS_PER_MEMO = 32
+
+Frontier = Tuple[State, ...]
+
+
+def canonical_frontier(boundaries: Iterable[State]) -> Frontier:
+    """Dominance-reduce and canonically order a recorded boundary list.
+
+    The breadth-first sweep can record a feasible state before the
+    boundary covering it (discovery-order races the dequeue check does
+    not fully close). Such spurious entries are always *below* a true
+    boundary of their group, and true boundaries are never below any
+    other feasible state, so dropping every state below another of its
+    group leaves exactly the minimal boundary set — the same frontier
+    regardless of the sweep that produced it. Ordering is (group size,
+    rank tuple), ascending.
+    """
+    groups: Dict[int, List[State]] = {}
+    for state in set(boundaries):
+        groups.setdefault(len(state), []).append(state)
+    kept: List[State] = []
+    for size, members in groups.items():
+        if len(members) == 1 or size == 0:
+            kept.extend(members)
+            continue
+        # Minimal elements under componentwise dominance, via broadcast
+        # comparison against the whole group; chunked so the (m, n, g)
+        # intermediate stays bounded however large the frontier grows.
+        matrix = np.array(members, dtype=np.int64)
+        n = matrix.shape[0]
+        keep = np.ones(n, dtype=bool)
+        chunk = max(1, 2_000_000 // (n * size))
+        for start in range(0, n, chunk):
+            stop = min(start + chunk, n)
+            block = matrix[start:stop]
+            covered = (block[:, None, :] >= matrix[None, :, :]).all(axis=2)
+            covered[np.arange(stop - start), np.arange(start, stop)] = False
+            keep[start:stop] = ~covered.any(axis=1)
+        kept.extend(members[i] for i in np.nonzero(keep)[0])
+    kept.sort(key=lambda s: (len(s), s))
+    return tuple(kept)
+
+
+def space_signature(pspace) -> Tuple:
+    """The identity a preference space's parameters define.
+
+    The arrays *are* the resultant of (query, profile, statistics):
+    identical arrays evaluate identically whatever produced them, so
+    keying on them is always safe — and it also unifies e.g. truncated
+    spaces that happen to coincide.
+    """
+    return (
+        tuple(pspace.doi_values),
+        tuple(pspace.cost_values),
+        tuple(pspace.reductions),
+        pspace.base_size,
+        pspace.base_cost,
+        (pspace.algebra.name, id(pspace.algebra)),
+        tuple(sorted(tuple(sorted(pair)) for pair in pspace.conflicts)),
+    )
+
+
+class FrontierMemo:
+    """Per-(signature, vector, axis) store of limit → canonical frontier."""
+
+    def __init__(self, cache: "FrontierCache") -> None:
+        self._cache = cache
+        self._entries: "OrderedDict[float, Frontier]" = OrderedDict()
+
+    def lookup(self, limit: float) -> Tuple[Optional[Frontier], Optional[Frontier]]:
+        """``(exact, seeds)`` for a solve at ``limit``.
+
+        ``exact`` is the stored frontier for this very limit (phase 1
+        can be skipped outright). Otherwise ``seeds`` is the frontier of
+        the *tightest looser* stored limit — the valid warm-start for a
+        downward resume — or ``None`` when only tighter limits (whose
+        frontiers sit below the new boundaries) are cached.
+        """
+        with self._cache._lock:
+            exact = self._entries.get(limit)
+            if exact is not None:
+                self._cache.hits += 1
+                self._entries.move_to_end(limit)
+                return exact, None
+            self._cache.misses += 1
+            best_limit: Optional[float] = None
+            seeds: Optional[Frontier] = None
+            for stored_limit, frontier in self._entries.items():
+                if stored_limit > limit and (
+                    best_limit is None or stored_limit < best_limit
+                ):
+                    best_limit = stored_limit
+                    seeds = frontier
+            return None, seeds
+
+    def store(self, limit: float, frontier: Frontier) -> None:
+        with self._cache._lock:
+            self._entries[limit] = frontier
+            self._entries.move_to_end(limit)
+            while len(self._entries) > FRONTIER_LIMITS_PER_MEMO:
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class FrontierCache:
+    """Shared evaluators + boundary frontiers across solves.
+
+    ``capacity`` bounds the number of distinct space signatures held
+    (evaluators and frontier memos evict LRU independently); a capacity
+    of 0 disables the cache entirely — every ``evaluator_for`` returns
+    a fresh evaluator and no frontier is remembered — which is how the
+    benchmarks model cold solves.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_EVALUATORS) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0, got %r" % (capacity,))
+        self.capacity = capacity
+        self._evaluators: "OrderedDict[Tuple, CachedStateEvaluator]" = OrderedDict()
+        self._memos: "OrderedDict[Tuple, FrontierMemo]" = OrderedDict()
+        self._stats_token: Hashable = None
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    # -- validation ----------------------------------------------------------------
+
+    def validate(self, stats_token: Hashable) -> None:
+        """Flush everything if the statistics snapshot changed.
+
+        The parameter arrays keying the evaluators already change with
+        the statistics (stale entries could never be *served*), but a
+        flush on token change keeps dead spaces from occupying the LRU.
+        """
+        with self._lock:
+            if stats_token != self._stats_token:
+                if self._evaluators or self._memos:
+                    self.invalidations += 1
+                self._evaluators.clear()
+                self._memos.clear()
+                self._stats_token = stats_token
+
+    def invalidate(self) -> None:
+        """Explicitly drop every entry (out-of-band statistics mutation)."""
+        with self._lock:
+            if self._evaluators or self._memos:
+                self.invalidations += 1
+            self._evaluators.clear()
+            self._memos.clear()
+            self._stats_token = None
+
+    # -- the two entry points ------------------------------------------------------
+
+    def evaluator_for(self, pspace) -> CachedStateEvaluator:
+        """The shared caching evaluator for a preference space.
+
+        Every solve against an identical parameter signature receives
+        the *same* evaluator, so per-state doi/cost/size figures carry
+        across constraint values, problems, and algorithms.
+        """
+        if self.capacity == 0:
+            return CachedStateEvaluator.wrap(pspace.evaluator())
+        signature = space_signature(pspace)
+        with self._lock:
+            evaluator = self._evaluators.get(signature)
+            if evaluator is not None:
+                self._evaluators.move_to_end(signature)
+                return evaluator
+        evaluator = CachedStateEvaluator.wrap(pspace.evaluator())
+        with self._lock:
+            existing = self._evaluators.get(signature)
+            if existing is not None:
+                return existing
+            self._evaluators[signature] = evaluator
+            while len(self._evaluators) > self.capacity:
+                self._evaluators.popitem(last=False)
+        return evaluator
+
+    def memo_for(self, signature: Tuple, vector: Tuple[int, ...], axis: str
+                 ) -> Optional[FrontierMemo]:
+        """The frontier memo for one (space signature, vector, axis)."""
+        if self.capacity == 0:
+            return None
+        key = (signature, vector, axis)
+        with self._lock:
+            memo = self._memos.get(key)
+            if memo is None:
+                memo = FrontierMemo(self)
+                self._memos[key] = memo
+                while len(self._memos) > self.capacity:
+                    self._memos.popitem(last=False)
+            else:
+                self._memos.move_to_end(key)
+            return memo
+
+    # -- introspection -------------------------------------------------------------
+
+    def counters(self) -> Dict[str, int]:
+        """Frontier hit/miss/invalidation tallies plus entry counts."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "invalidations": self.invalidations,
+                "evaluators": len(self._evaluators),
+                "frontiers": sum(len(memo) for memo in self._memos.values()),
+            }

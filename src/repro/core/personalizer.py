@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Union
 
 from repro.core import adapters
+from repro.core.frontier_cache import FrontierCache
 from repro.core.param_cache import ParameterCache
 from repro.core.preference_space import PreferenceSpace, extract_preference_space
 from repro.core.problem import CQPProblem
@@ -73,11 +74,15 @@ class Personalizer:
         param_cache: Optional[ParameterCache] = None,
         mask_kernel: bool = True,
         engine: str = "columnar",
+        frontier_cache: Optional[FrontierCache] = None,
     ) -> None:
         """``param_cache`` memoizes per-path pricing across requests; one
         is created per Personalizer when not given (pass a shared
         instance to pool across personalizers, or a 0-capacity cache to
-        disable). ``mask_kernel=False`` falls back to the tuple
+        disable). ``frontier_cache`` does the same one layer up: shared
+        per-state parameter evaluations plus warm-started boundary
+        sweeps across constraint values (same defaulting convention).
+        ``mask_kernel=False`` falls back to the tuple
         evaluation kernel (identical results, slower — benchmarks).
         ``engine="row"`` restores the row-at-a-time executor instead of
         the columnar kernel (identical rows and cost receipts — the
@@ -88,6 +93,9 @@ class Personalizer:
         self.algebra = algebra
         self.default_algorithm = default_algorithm
         self.param_cache = param_cache if param_cache is not None else ParameterCache()
+        self.frontier_cache = (
+            frontier_cache if frontier_cache is not None else FrontierCache()
+        )
         self.mask_kernel = mask_kernel
         self.engine = engine
         self.executor = Executor(database, engine=engine)
@@ -97,6 +105,7 @@ class Personalizer:
         database or its statistics out of band; normal ``analyze()`` /
         ``load()`` calls are detected automatically)."""
         self.param_cache.invalidate()
+        self.frontier_cache.invalidate()
 
     def personalize(
         self,
@@ -117,6 +126,9 @@ class Personalizer:
             query = parse_select(query)
         hits_before = self.param_cache.hits
         misses_before = self.param_cache.misses
+        # Stale search-layer entries die with the statistics snapshot,
+        # exactly like the parameter cache's per-entry token check.
+        self.frontier_cache.validate(self.database.stats_token)
         pspace = extract_preference_space(
             self.database,
             query,
@@ -135,7 +147,13 @@ class Personalizer:
                 else adapters.recommended_algorithm(problem)
             )
         solution = (
-            adapters.solve(pspace, problem, algorithm, mask_kernel=self.mask_kernel)
+            adapters.solve(
+                pspace,
+                problem,
+                algorithm,
+                mask_kernel=self.mask_kernel,
+                frontier_cache=self.frontier_cache,
+            )
             if pspace.k > 0
             else None
         )

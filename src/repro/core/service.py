@@ -18,11 +18,12 @@ as the search context at the time of the request."
 
 from __future__ import annotations
 
-from concurrent.futures import Executor as PoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.core.algorithms.scheduler import SolveScheduler
 from repro.core.context import SearchContext, problem_for_context
+from repro.core.frontier_cache import FrontierCache
 from repro.core.param_cache import ParameterCache
 from repro.core.personalizer import PersonalizationOutcome, Personalizer
 from repro.core.problem import CQPProblem
@@ -47,7 +48,11 @@ class ServiceResponse:
     the result per member. The trailing counters surface the execution
     engine's sharing behaviour (see :mod:`repro.sql.columnar`): frame
     cache traffic, UNION ALL branches answered incrementally from a
-    shared base frame, and rows filtered vectorized vs row-at-a-time.
+    shared base frame, and rows filtered vectorized vs row-at-a-time —
+    plus the search-layer reuse counters (see
+    :mod:`repro.core.frontier_cache`): frontier memo traffic, states the
+    boundary sweep was warm-started from, and batched neighbor
+    evaluations.
     """
 
     user: str
@@ -59,6 +64,10 @@ class ServiceResponse:
     branches_incremental: int = 0
     rows_filtered_vectorized: int = 0
     rows_filtered_rowwise: int = 0
+    frontier_cache_hits: int = 0
+    frontier_cache_misses: int = 0
+    states_warm_started: int = 0
+    neighbor_batches: int = 0
 
     @property
     def personalized(self) -> bool:
@@ -97,22 +106,31 @@ class PersonalizationService:
         param_cache: Optional[ParameterCache] = None,
         mask_kernel: bool = True,
         engine: str = "columnar",
+        frontier_cache: Optional[FrontierCache] = None,
+        parallelism: int = 1,
     ) -> None:
         """``relearn_every``: after that many requests a user's profile is
         re-blended with one learned from their query log (0 = never).
         ``learning_config`` defaults to a fresh :class:`LearningConfig`
         per service (never a shared instance). ``param_cache`` /
-        ``mask_kernel`` / ``engine`` are forwarded to the
-        :class:`Personalizer` (``engine="row"`` restores the
-        row-at-a-time execution path)."""
+        ``mask_kernel`` / ``engine`` / ``frontier_cache`` are forwarded
+        to the :class:`Personalizer` (``engine="row"`` restores the
+        row-at-a-time execution path). ``parallelism`` is the default
+        fan-out for :meth:`request_many`'s independent per-group solves;
+        1 (the default) keeps every request on the calling thread,
+        bit-identical to the serial path."""
         if relearn_every < 0:
             raise ValueError("relearn_every must be >= 0")
+        if parallelism < 1:
+            raise ValueError("parallelism must be >= 1")
+        self.parallelism = parallelism
         self.personalizer = Personalizer(
             database,
             algebra=algebra,
             param_cache=param_cache,
             mask_kernel=mask_kernel,
             engine=engine,
+            frontier_cache=frontier_cache,
         )
         self.relearn_every = relearn_every
         self.learning_config = (
@@ -125,6 +143,11 @@ class PersonalizationService:
     def param_cache(self) -> ParameterCache:
         """The cross-request parameter cache serving this service."""
         return self.personalizer.param_cache
+
+    @property
+    def frontier_cache(self) -> FrontierCache:
+        """The cross-request search-layer cache serving this service."""
+        return self.personalizer.frontier_cache
 
     def invalidate_caches(self) -> None:
         """Explicit invalidation hook for out-of-band database mutation
@@ -193,13 +216,30 @@ class PersonalizationService:
             query, state.profile, problem, algorithm=algorithm, k_limit=k_limit
         )
         if not execute:
-            return ServiceResponse(user=user, outcome=outcome, rows=(), elapsed_ms=0.0)
+            return ServiceResponse(
+                user=user, outcome=outcome, rows=(), elapsed_ms=0.0,
+                **self._search_counters(outcome),
+            )
         result = self.personalizer.execute(outcome)
         self._fold_exec_stats(outcome, result)
         return self._response(user, outcome, result)
 
     @staticmethod
-    def _response(user, outcome, result) -> ServiceResponse:
+    def _search_counters(outcome: PersonalizationOutcome) -> Dict[str, int]:
+        """The solution's search-layer reuse counters, as response kwargs
+        (all zero for unpersonalized outcomes)."""
+        if outcome.solution is None:
+            return {}
+        stats = outcome.solution.stats
+        return {
+            "frontier_cache_hits": stats.frontier_cache_hits,
+            "frontier_cache_misses": stats.frontier_cache_misses,
+            "states_warm_started": stats.states_warm_started,
+            "neighbor_batches": stats.neighbor_batches,
+        }
+
+    @classmethod
+    def _response(cls, user, outcome, result) -> ServiceResponse:
         return ServiceResponse(
             user=user,
             outcome=outcome,
@@ -210,6 +250,7 @@ class PersonalizationService:
             branches_incremental=result.branches_incremental,
             rows_filtered_vectorized=result.rows_filtered_vectorized,
             rows_filtered_rowwise=result.rows_filtered_rowwise,
+            **cls._search_counters(outcome),
         )
 
     @staticmethod
@@ -243,8 +284,14 @@ class PersonalizationService:
         still shares per-path pricing, so even an all-distinct batch
         beats the request-at-a-time loop once warm.
 
-        ``max_workers > 1`` fans the per-group personalization out on a
-        :class:`ThreadPoolExecutor`; execution stays serial because the
+        ``max_workers`` (default: the service's ``parallelism``) > 1
+        fans the per-group personalization out through a
+        :class:`~repro.core.algorithms.scheduler.SolveScheduler` with
+        results in deterministic (input) order; the solves are
+        independent and the shared caches memoize pure functions, so the
+        responses' payloads do not depend on the schedule (only work
+        counters may — whichever group warms a cache first gets the
+        misses). Execution stays serial because the
         block-device I/O tally is shared, but all groups execute against
         one batch-scoped frame cache: the columnar engine computes the
         frame of any shared plan prefix (typically the base query's
@@ -295,14 +342,10 @@ class PersonalizationService:
             )
 
         member_lists = list(groups.values())
-        if max_workers is not None and max_workers > 1 and len(member_lists) > 1:
-            pool: PoolExecutor = ThreadPoolExecutor(max_workers=max_workers)
-            try:
-                outcomes = list(pool.map(personalize_group, member_lists))
-            finally:
-                pool.shutdown()
-        else:
-            outcomes = [personalize_group(members) for members in member_lists]
+        workers = self.parallelism if max_workers is None else max_workers
+        outcomes = SolveScheduler(max(1, workers)).map(
+            personalize_group, member_lists
+        )
 
         batch_frames = FrameCache() if execute else None
         responses: List[Optional[ServiceResponse]] = [None] * len(specs)

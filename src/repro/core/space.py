@@ -56,6 +56,7 @@ class SearchSpace:
         budget_mask: Optional[Callable[[Mask], float]] = None,
         objective_mask: Optional[Callable[[Mask], float]] = None,
         extra_mask: Optional[Callable[[Mask], bool]] = None,
+        budget_mask_many: Optional[Callable[[Sequence[Mask]], List[float]]] = None,
     ) -> None:
         if sorted(vector) != list(range(len(vector))):
             raise SearchError("vector must be a permutation of 0..K-1")
@@ -71,6 +72,10 @@ class SearchSpace:
         self._budget_mask = budget_mask
         self._objective_mask = objective_mask
         self._extra_mask = extra_mask
+        self._budget_mask_many = budget_mask_many
+        # Frontier memo attached by SpaceBundle when a FrontierCache is
+        # in play (budget-aligned spaces only); algorithms may ignore it.
+        self.frontier = None
         # rank -> single-bit mask of the P-index it denotes
         self._pref_bit: Tuple[Mask, ...] = tuple(1 << p for p in self.vector)
         self._feasible_limit = self.limit + abs(self.limit) * _TOL + _TOL
@@ -105,6 +110,19 @@ class SearchSpace:
 
     def within_budget(self, state: State) -> bool:
         return self.budget_value(state) <= self._feasible_limit
+
+    def budget_values(self, states: Sequence[State]) -> List[float]:
+        """Budget parameters of many states in one batched call.
+
+        Rides the evaluator's batched mask kernel when available; each
+        figure still comes from the scalar arithmetic, so the results
+        are bit-identical to state-at-a-time :meth:`budget_value`.
+        """
+        if self._budget_mask_many is not None:
+            pref_mask = self.pref_mask
+            return self._budget_mask_many([pref_mask(state) for state in states])
+        budget_value = self.budget_value
+        return [budget_value(state) for state in states]
 
     def objective_value(self, state: State) -> float:
         if self._objective_mask is not None:
@@ -187,17 +205,35 @@ class SpaceBundle:
         problem: CQPProblem,
         cached: bool = True,
         mask_kernel: bool = True,
+        frontier_cache=None,
     ) -> None:
         from repro.core.estimation import CachedStateEvaluator
 
         self.pspace = pspace
         self.problem = problem
         self.mask_kernel = mask_kernel
-        self.evaluator = (
-            CachedStateEvaluator.wrap(pspace.evaluator())
-            if cached
-            else pspace.evaluator()
-        )
+        # A FrontierCache supplies the shared evaluator (per-state
+        # parameters carried across solves) and the frontier memos the
+        # budget-aligned spaces warm-start from. Only meaningful with
+        # caching on — an uncached bundle is a measurement tool.
+        self.frontier_cache = frontier_cache if cached else None
+        if self.frontier_cache is not None:
+            self.evaluator = self.frontier_cache.evaluator_for(pspace)
+        elif cached:
+            self.evaluator = CachedStateEvaluator.wrap(pspace.evaluator())
+        else:
+            self.evaluator = pspace.evaluator()
+        self._signature = None
+
+    def _frontier_memo(self, space: SearchSpace):
+        """The frontier memo for a budget-aligned space, if cached."""
+        if self.frontier_cache is None or not space.budget_aligned:
+            return None
+        from repro.core.frontier_cache import space_signature
+
+        if self._signature is None:
+            self._signature = space_signature(self.pspace)
+        return self.frontier_cache.memo_for(self._signature, space.vector, space.name)
 
     @property
     def k(self) -> int:
@@ -284,7 +320,7 @@ class SpaceBundle:
         if cmax is None:
             raise SearchError("cost space needs a cost upper bound (Problems 2-3)")
         masked = self.mask_kernel
-        return SearchSpace(
+        space = SearchSpace(
             vector=self.pspace.vector_c,
             evaluator=self.evaluator,
             budget=self.evaluator.cost,
@@ -297,7 +333,10 @@ class SpaceBundle:
             budget_mask=self.evaluator.cost_mask if masked else None,
             objective_mask=self.evaluator.doi_mask if masked else None,
             extra_mask=self._size_extra_mask() if masked else None,
+            budget_mask_many=self.evaluator.cost_mask_many if masked else None,
         )
+        space.frontier = self._frontier_memo(space)
+        return space
 
     def doi_space(self) -> SearchSpace:
         """The D-algorithm space: vector D, budget from the problem.
@@ -380,7 +419,10 @@ class SpaceBundle:
         def budget_mask(mask: Mask) -> float:
             return -evaluator.size_independent_mask(mask)
 
-        return SearchSpace(
+        def budget_mask_many(masks: Sequence[Mask]) -> List[float]:
+            return [-value for value in evaluator.size_independent_mask_many(masks)]
+
+        space = SearchSpace(
             vector=self.pspace.vector_s,
             evaluator=self.evaluator,
             budget=budget,
@@ -393,7 +435,10 @@ class SpaceBundle:
             budget_mask=budget_mask if masked else None,
             objective_mask=self.evaluator.doi_mask if masked else None,
             extra_mask=self._smin_only_extra_mask() if masked else None,
+            budget_mask_many=budget_mask_many if masked else None,
         )
+        space.frontier = self._frontier_memo(space)
+        return space
 
     def default_space(self) -> SearchSpace:
         """The natural space for the bundle's problem (doi-max problems)."""

@@ -51,6 +51,14 @@ class SearchStats:
     branches_incremental: int = 0
     rows_filtered_vectorized: int = 0
     rows_filtered_rowwise: int = 0
+    # Search-layer reuse counters (see repro.core.frontier_cache and
+    # repro.core.algorithms.scheduler): frontier memo traffic, states the
+    # sweep was seeded with instead of re-deriving from the root, and
+    # Vertical neighbor sets priced through one batched estimator call.
+    frontier_cache_hits: int = 0
+    frontier_cache_misses: int = 0
+    states_warm_started: int = 0
+    neighbor_batches: int = 0
     _containers: Dict[str, Callable[[], int]] = field(default_factory=dict, repr=False)
 
     # -- counters -----------------------------------------------------------------
@@ -73,6 +81,18 @@ class SearchStats:
         :func:`container_bytes` to build it from a collection of states.
         """
         self._containers[name] = byte_size
+
+    def release_containers(self) -> None:
+        """Take a final memory sample and drop the container closures.
+
+        The closures close over live search containers (queues, boundary
+        lists, region heaps); releasing them when the search returns
+        lets those containers die with the search instead of being
+        pinned through a long-lived stats record.
+        """
+        if self._containers:
+            self.sample_memory(force=True)
+            self._containers.clear()
 
     # Measuring a container is O(its size); sampling on every queue
     # mutation would make the whole search O(n^2). The first _EXACT_CALLS
@@ -118,6 +138,10 @@ class SearchStats:
         self.branches_incremental += other.branches_incremental
         self.rows_filtered_vectorized += other.rows_filtered_vectorized
         self.rows_filtered_rowwise += other.rows_filtered_rowwise
+        self.frontier_cache_hits += other.frontier_cache_hits
+        self.frontier_cache_misses += other.frontier_cache_misses
+        self.states_warm_started += other.states_warm_started
+        self.neighbor_batches += other.neighbor_batches
 
 
 def container_bytes(container: Sequence[Tuple[int, ...]]) -> int:

@@ -200,9 +200,26 @@ class Workbench:
         cmax: Optional[float] = None,
         cmax_fraction: Optional[float] = None,
         pairs: Optional[Sequence[Tuple[int, int]]] = None,
+        parallelism: int = 1,
     ) -> List[RunRecord]:
-        """One record per (profile, query) pair at fixed (k, cmax)."""
-        return [
-            self.solve_one(algorithm, p, q, k, cmax=cmax, cmax_fraction=cmax_fraction)
-            for p, q in (pairs if pairs is not None else self.run_pairs())
-        ]
+        """One record per (profile, query) pair at fixed (k, cmax).
+
+        ``parallelism > 1`` fans the independent per-pair solves across
+        a bounded worker pool; records come back in pair order either
+        way. (Per-record wall times then overlap — sum them only for
+        serial grids.)
+        """
+        from repro.core.algorithms.scheduler import SolveScheduler
+
+        grid = list(pairs if pairs is not None else self.run_pairs())
+        if parallelism > 1:
+            # The lazy space cache is not thread-safe; materialize every
+            # pair's space up front so workers only read it.
+            for p, q in grid:
+                self.preference_space(p, q)
+        return SolveScheduler(parallelism).map(
+            lambda pair: self.solve_one(
+                algorithm, pair[0], pair[1], k, cmax=cmax, cmax_fraction=cmax_fraction
+            ),
+            grid,
+        )

@@ -71,6 +71,46 @@ def make_synthetic_evaluator(
     )
 
 
+def make_synthetic_pspace(
+    dois: Sequence[float],
+    costs: Sequence[float],
+    sizes: Optional[Sequence[float]] = None,
+    base_size: float = 1000.0,
+    algebra: DoiAlgebra = PRODUCT_ALGEBRA,
+) -> "PreferenceSpace":
+    """A full :class:`PreferenceSpace` from explicit parameters.
+
+    The adapter/bundle layer (``adapters.solve``, ``SpaceBundle``,
+    frontier caching) takes preference spaces rather than bare
+    evaluators; this builds one without a database. ``paths`` are
+    integer placeholders — everything downstream of the solve uses only
+    ``len(paths)`` and the parameter arrays.
+    """
+    from repro.core.preference_space import PreferenceSpace
+
+    evaluator = make_synthetic_evaluator(
+        dois, costs, sizes, base_size=base_size, algebra=algebra
+    )
+    k = len(evaluator)
+    doi_values = list(evaluator.doi_values)
+    cost_values = list(evaluator.cost_values)
+    reductions = list(evaluator.reductions)
+    return PreferenceSpace(
+        query=paper_example_query(),
+        paths=list(range(k)),
+        doi_values=doi_values,
+        cost_values=cost_values,
+        size_values=[base_size * r for r in reductions],
+        reductions=reductions,
+        base_cost=0.0,
+        base_size=base_size,
+        algebra=algebra,
+        vector_d=sorted(range(k), key=lambda i: (-doi_values[i], i)),
+        vector_c=sorted(range(k), key=lambda i: (-cost_values[i], i)),
+        vector_s=sorted(range(k), key=lambda i: (reductions[i], i)),
+    )
+
+
 def _doi_upper_bound(evaluator: StateEvaluator) -> Callable[[int], float]:
     return evaluator.best_doi_of_size
 
