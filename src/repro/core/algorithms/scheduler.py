@@ -19,6 +19,16 @@ Two independent levers on search-layer throughput:
 Solutions are schedule-independent by construction (each solve is
 self-contained; shared caches only memoize pure functions), so
 ``parallelism`` trades wall-clock for threads without touching results.
+
+The scheduler is also the service's resilience boundary: a task that
+raises :class:`TransientFault` (the marker the deterministic fault
+injector in :mod:`repro.testing.faults` uses, and the natural base for
+real transient conditions) is retried in place and, past the retry
+budget, re-run via the ``fallback`` callable on the **calling thread** —
+the degraded cold path. Tasks are pure functions of their item, so a
+retried or fallen-back task returns exactly what the first attempt
+would have; only the ``faults_injected``/``fallbacks_taken`` counters
+record that degradation happened.
 """
 
 from __future__ import annotations
@@ -32,6 +42,16 @@ from repro.core.stats import SearchStats
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+
+class TransientFault(RuntimeError):
+    """A retryable failure inside a scheduler task.
+
+    Raised by the fault injector (and suitable as a base class for real
+    transient conditions — a lost connection, a full queue). Anything
+    else a task raises is a genuine bug and still fails the whole
+    :meth:`SolveScheduler.map`, exactly like the serial loop would.
+    """
 
 
 def vertical_by_budget(
@@ -58,28 +78,96 @@ def vertical_by_budget(
 class SolveScheduler:
     """Bounded fan-out of independent tasks, results in input order.
 
-    The scheduler is intentionally dumb: no shared state, no result
-    reordering, no partial failure handling — a task that raises fails
-    the whole :meth:`map`, exactly like the serial loop would.
+    The scheduler is intentionally dumb about scheduling: no shared
+    state, no result reordering. Failure handling is limited to
+    :class:`TransientFault`: such a task is retried up to ``retries``
+    times and then handed to ``fallback`` (when given) on the calling
+    thread; any other exception — and a transient one with no fallback
+    left — fails the whole :meth:`map`, exactly like the serial loop
+    would. ``fault_injector`` (see :mod:`repro.testing.faults`) is
+    pulsed once per task attempt at site ``"scheduler.worker"`` so fault
+    drills can hit the workers deterministically.
     """
 
-    def __init__(self, parallelism: int = 1) -> None:
+    def __init__(
+        self,
+        parallelism: int = 1,
+        retries: int = 1,
+        fault_injector=None,
+    ) -> None:
         if parallelism < 1:
             raise ValueError("parallelism must be >= 1, got %r" % (parallelism,))
+        if retries < 0:
+            raise ValueError("retries must be >= 0, got %r" % (retries,))
         self.parallelism = parallelism
+        self.retries = retries
+        self.fault_injector = fault_injector
+        self.faults_seen = 0
+        self.fallbacks_taken = 0
 
-    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+    def _attempt(self, fn: Callable[[T], R], item: T) -> R:
+        """One task attempt, with the injector's worker site armed."""
+        if self.fault_injector is not None:
+            self.fault_injector.maybe_raise("scheduler.worker")
+        return fn(item)
+
+    def _run_one(
+        self, fn: Callable[[T], R], item: T, fallback: Optional[Callable[[T], R]]
+    ) -> R:
+        for _ in range(self.retries + 1):
+            try:
+                return self._attempt(fn, item)
+            except TransientFault:
+                self.faults_seen += 1
+        if fallback is None:
+            raise TransientFault(
+                "task failed transiently %d time(s) and no fallback is wired"
+                % (self.retries + 1)
+            )
+        self.fallbacks_taken += 1
+        return fallback(item)
+
+    def map(
+        self,
+        fn: Callable[[T], R],
+        items: Iterable[T],
+        fallback: Optional[Callable[[T], R]] = None,
+    ) -> List[R]:
         """``[fn(item) for item in items]``, possibly across threads.
 
         Runs inline when ``parallelism <= 1`` or there is at most one
         item (no pool spin-up for degenerate batches). Otherwise a
         bounded :class:`ThreadPoolExecutor` executes the calls;
         ``Executor.map`` yields results positionally, so the output
-        order never depends on scheduling.
+        order never depends on scheduling. ``fallback`` is the degraded
+        re-run for a task whose attempts all raised
+        :class:`TransientFault`; it executes on the calling thread after
+        the pool has drained, preserving input order.
         """
         work: Sequence[T] = list(items)
         workers = min(self.parallelism, len(work))
         if workers <= 1:
-            return [fn(item) for item in work]
+            return [self._run_one(fn, item, fallback) for item in work]
+        pending = object()
+
+        def guarded(item: T):
+            for _ in range(self.retries + 1):
+                try:
+                    return self._attempt(fn, item)
+                except TransientFault:
+                    self.faults_seen += 1
+            return pending  # degrade on the calling thread, in order
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(fn, work))
+            results = list(pool.map(guarded, work))
+        out: List[R] = []
+        for item, result in zip(work, results):
+            if result is pending:
+                if fallback is None:
+                    raise TransientFault(
+                        "task failed transiently %d time(s) and no fallback "
+                        "is wired" % (self.retries + 1)
+                    )
+                self.fallbacks_taken += 1
+                result = fallback(item)
+            out.append(result)
+        return out

@@ -48,7 +48,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -135,6 +135,8 @@ class FrontierMemo:
         downward resume — or ``None`` when only tighter limits (whose
         frontiers sit below the new boundaries) are cached.
         """
+        if self._cache.fault_hook is not None:
+            self._cache.fault_hook("frontier_cache.lookup")
         with self._cache._lock:
             exact = self._entries.get(limit)
             if exact is not None:
@@ -184,6 +186,12 @@ class FrontierCache:
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
+        # Fault seam: when set, called (outside the lock) with the site
+        # name before every frontier lookup and evaluator fetch. The
+        # deterministic injector in repro.testing.faults uses it to
+        # evict mid-solve; hooks must only call thread-safe entry points
+        # such as invalidate().
+        self.fault_hook: Optional[Callable[[str], None]] = None
 
     # -- validation ----------------------------------------------------------------
 
@@ -198,8 +206,7 @@ class FrontierCache:
             if stats_token != self._stats_token:
                 if self._evaluators or self._memos:
                     self.invalidations += 1
-                self._evaluators.clear()
-                self._memos.clear()
+                self._flush_locked()
                 self._stats_token = stats_token
 
     def invalidate(self) -> None:
@@ -207,9 +214,21 @@ class FrontierCache:
         with self._lock:
             if self._evaluators or self._memos:
                 self.invalidations += 1
-            self._evaluators.clear()
-            self._memos.clear()
+            self._flush_locked()
             self._stats_token = None
+
+    def _flush_locked(self) -> None:
+        """Drop every evaluator and frontier (caller holds the lock).
+
+        Memo *objects* are emptied, not just unmapped: an in-flight
+        solve holds its memo directly (``space.frontier``), and an
+        eviction drill — or a genuine flush racing a solve — must leave
+        it the cold path, not a stale private copy of the entries.
+        """
+        self._evaluators.clear()
+        for memo in self._memos.values():
+            memo._entries.clear()
+        self._memos.clear()
 
     # -- the two entry points ------------------------------------------------------
 
@@ -220,6 +239,8 @@ class FrontierCache:
         the *same* evaluator, so per-state doi/cost/size figures carry
         across constraint values, problems, and algorithms.
         """
+        if self.fault_hook is not None:
+            self.fault_hook("frontier_cache.evaluator")
         if self.capacity == 0:
             return CachedStateEvaluator.wrap(pspace.evaluator())
         signature = space_signature(pspace)
@@ -263,6 +284,7 @@ class FrontierCache:
             return {
                 "hits": self.hits,
                 "misses": self.misses,
+                "lookups": self.hits + self.misses,
                 "invalidations": self.invalidations,
                 "evaluators": len(self._evaluators),
                 "frontiers": sum(len(memo) for memo in self._memos.values()),

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Callable, Dict, Hashable, Tuple
+from typing import Callable, Dict, Hashable, Optional, Tuple
 
 from repro.preferences.model import PreferencePath
 
@@ -55,6 +55,11 @@ class ParameterCache:
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
+        # Fault seam: when set, called (outside the lock) with the site
+        # name at the top of every lookup. The deterministic injector in
+        # repro.testing.faults uses it to evict mid-solve; it must only
+        # call thread-safe entry points such as invalidate().
+        self.fault_hook: Optional[Callable[[str], None]] = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -75,6 +80,8 @@ class ParameterCache:
         mutations invalidate all cost-model and cardinality inputs at
         once — selective eviction would buy nothing).
         """
+        if self.fault_hook is not None:
+            self.fault_hook("param_cache.price")
         key = (query_fingerprint, path.conditions)
         with self._lock:
             if stats_token != self._stats_token:
@@ -112,6 +119,7 @@ class ParameterCache:
             return {
                 "hits": self.hits,
                 "misses": self.misses,
+                "lookups": self.hits + self.misses,
                 "invalidations": self.invalidations,
                 "entries": len(self._entries),
             }

@@ -68,10 +68,22 @@ class ServiceResponse:
     frontier_cache_misses: int = 0
     states_warm_started: int = 0
     neighbor_batches: int = 0
+    # Resilience counters: faults the wired injector fired while this
+    # request (or its whole batch — see request_many) was answered, and
+    # scheduler tasks that degraded to the cold single-threaded
+    # fallback. Both stay 0 in normal, fault-free operation.
+    faults_injected: int = 0
+    fallbacks_taken: int = 0
 
     @property
     def personalized(self) -> bool:
         return self.outcome.personalized
+
+    @property
+    def degraded(self) -> bool:
+        """True when any part of producing this response fell back to
+        the cold single-threaded path after transient faults."""
+        return self.fallbacks_taken > 0
 
 
 @dataclass
@@ -108,6 +120,8 @@ class PersonalizationService:
         engine: str = "columnar",
         frontier_cache: Optional[FrontierCache] = None,
         parallelism: int = 1,
+        fault_injector=None,
+        solve_retries: int = 1,
     ) -> None:
         """``relearn_every``: after that many requests a user's profile is
         re-blended with one learned from their query log (0 = never).
@@ -118,12 +132,25 @@ class PersonalizationService:
         row-at-a-time execution path). ``parallelism`` is the default
         fan-out for :meth:`request_many`'s independent per-group solves;
         1 (the default) keeps every request on the calling thread,
-        bit-identical to the serial path."""
+        bit-identical to the serial path.
+
+        ``fault_injector`` (the :class:`repro.testing.faults.FaultInjector`
+        protocol) arms the resilience drills: the service's caches get
+        eviction hooks, scheduler workers get transient-error sites, and
+        every response reports ``faults_injected``/``fallbacks_taken``.
+        ``solve_retries`` is how many times a transiently failed group
+        solve is retried in place before the cold single-threaded
+        fallback runs it (see
+        :class:`~repro.core.algorithms.scheduler.SolveScheduler`)."""
         if relearn_every < 0:
             raise ValueError("relearn_every must be >= 0")
         if parallelism < 1:
             raise ValueError("parallelism must be >= 1")
+        if solve_retries < 0:
+            raise ValueError("solve_retries must be >= 0")
         self.parallelism = parallelism
+        self.solve_retries = solve_retries
+        self.fault_injector = fault_injector
         self.personalizer = Personalizer(
             database,
             algebra=algebra,
@@ -138,6 +165,9 @@ class PersonalizationService:
         )
         self.learning_weight = learning_weight
         self._users: Dict[str, _UserState] = {}
+        if fault_injector is not None:
+            fault_injector.arm_cache(self.personalizer.param_cache)
+            fault_injector.arm_cache(self.personalizer.frontier_cache)
 
     @property
     def param_cache(self) -> ParameterCache:
@@ -212,17 +242,27 @@ class PersonalizationService:
         if self.relearn_every and state.requests_since_relearn >= self.relearn_every:
             self._relearn(user)
 
+        faults_before = self._faults_so_far()
         outcome = self.personalizer.personalize(
             query, state.profile, problem, algorithm=algorithm, k_limit=k_limit
         )
         if not execute:
             return ServiceResponse(
                 user=user, outcome=outcome, rows=(), elapsed_ms=0.0,
+                faults_injected=self._faults_so_far() - faults_before,
                 **self._search_counters(outcome),
             )
         result = self.personalizer.execute(outcome)
         self._fold_exec_stats(outcome, result)
-        return self._response(user, outcome, result)
+        return self._response(
+            user, outcome, result,
+            faults_injected=self._faults_so_far() - faults_before,
+        )
+
+    def _faults_so_far(self) -> int:
+        """The wired injector's running fault tally (0 when none)."""
+        injector = self.fault_injector
+        return injector.faults_injected if injector is not None else 0
 
     @staticmethod
     def _search_counters(outcome: PersonalizationOutcome) -> Dict[str, int]:
@@ -239,7 +279,9 @@ class PersonalizationService:
         }
 
     @classmethod
-    def _response(cls, user, outcome, result) -> ServiceResponse:
+    def _response(
+        cls, user, outcome, result, faults_injected: int = 0, fallbacks_taken: int = 0
+    ) -> ServiceResponse:
         return ServiceResponse(
             user=user,
             outcome=outcome,
@@ -250,6 +292,8 @@ class PersonalizationService:
             branches_incremental=result.branches_incremental,
             rows_filtered_vectorized=result.rows_filtered_vectorized,
             rows_filtered_rowwise=result.rows_filtered_rowwise,
+            faults_injected=faults_injected,
+            fallbacks_taken=fallbacks_taken,
             **cls._search_counters(outcome),
         )
 
@@ -341,13 +385,30 @@ class PersonalizationService:
                 k_limit=k_limit,
             )
 
+        def personalize_group_cold(members: Sequence[int]) -> PersonalizationOutcome:
+            # Degraded path after exhausted retries: drop every shared
+            # memo (any of them could have been mid-write when the fault
+            # hit) and re-solve on the calling thread. The caches only
+            # memoize pure functions, so the cold re-solve's payload is
+            # bit-identical to what the clean run would have returned.
+            self.personalizer.invalidate_caches()
+            return personalize_group(members)
+
         member_lists = list(groups.values())
         workers = self.parallelism if max_workers is None else max_workers
-        outcomes = SolveScheduler(max(1, workers)).map(
-            personalize_group, member_lists
+        faults_before = self._faults_so_far()
+        scheduler = SolveScheduler(
+            max(1, workers),
+            retries=self.solve_retries,
+            fault_injector=self.fault_injector,
+        )
+        outcomes = scheduler.map(
+            personalize_group, member_lists, fallback=personalize_group_cold
         )
 
         batch_frames = FrameCache() if execute else None
+        if batch_frames is not None and self.fault_injector is not None:
+            self.fault_injector.arm_cache(batch_frames)
         responses: List[Optional[ServiceResponse]] = [None] * len(specs)
         for members, outcome in zip(member_lists, outcomes):
             user = specs[members[0]][0]
@@ -363,6 +424,19 @@ class PersonalizationService:
             # (replaces the old per-member list(rows) copies).
             for position in members:
                 responses[position] = replace(template)
+        # Resilience counters are batch totals: fault attribution inside
+        # a thread pool is ambiguous, and what callers act on ("did this
+        # batch degrade, and how often?") is the aggregate anyway.
+        faults = self._faults_so_far() - faults_before
+        if self.fault_injector is None:
+            faults = scheduler.faults_seen
+        if faults or scheduler.fallbacks_taken:
+            for position, response in enumerate(responses):
+                responses[position] = replace(
+                    response,
+                    faults_injected=faults,
+                    fallbacks_taken=scheduler.fallbacks_taken,
+                )
         return responses  # type: ignore[return-value]
 
     # -- learning -----------------------------------------------------------------

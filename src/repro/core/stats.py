@@ -59,7 +59,14 @@ class SearchStats:
     frontier_cache_misses: int = 0
     states_warm_started: int = 0
     neighbor_batches: int = 0
+    # Resilience counters, folded in by the service (see
+    # repro.testing.faults and repro.core.algorithms.scheduler): faults
+    # an injector fired during this request, and scheduler tasks that
+    # had to degrade to the cold single-threaded fallback path.
+    faults_injected: int = 0
+    fallbacks_taken: int = 0
     _containers: Dict[str, Callable[[], int]] = field(default_factory=dict, repr=False)
+    _released: bool = field(default=False, repr=False)
 
     # -- counters -----------------------------------------------------------------
 
@@ -79,8 +86,16 @@ class SearchStats:
 
         ``byte_size`` is sampled by :meth:`sample_memory`; use
         :func:`container_bytes` to build it from a collection of states.
+        Registrations after :meth:`release_containers` are dropped: a
+        released stats record must never re-pin a search container.
         """
-        self._containers[name] = byte_size
+        if not self._released:
+            self._containers[name] = byte_size
+
+    @property
+    def released(self) -> bool:
+        """True once :meth:`release_containers` has run."""
+        return self._released
 
     def release_containers(self) -> None:
         """Take a final memory sample and drop the container closures.
@@ -88,8 +103,14 @@ class SearchStats:
         The closures close over live search containers (queues, boundary
         lists, region heaps); releasing them when the search returns
         lets those containers die with the search instead of being
-        pinned through a long-lived stats record.
+        pinned through a long-lived stats record. Idempotent: only the
+        first call samples, later calls (and any ``track_container``
+        after release) are no-ops, so adapters that chain sub-searches
+        may release defensively at every boundary.
         """
+        if self._released:
+            return
+        self._released = True
         if self._containers:
             self.sample_memory(force=True)
             self._containers.clear()
@@ -142,6 +163,8 @@ class SearchStats:
         self.frontier_cache_misses += other.frontier_cache_misses
         self.states_warm_started += other.states_warm_started
         self.neighbor_batches += other.neighbor_batches
+        self.faults_injected += other.faults_injected
+        self.fallbacks_taken += other.fallbacks_taken
 
 
 def container_bytes(container: Sequence[Tuple[int, ...]]) -> int:

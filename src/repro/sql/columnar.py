@@ -38,7 +38,7 @@ from __future__ import annotations
 import operator as _op
 from collections import Counter, OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ExecutionError, SQLError
 from repro.sql.ast_nodes import Comparison, Literal, Operator, QueryNode
@@ -208,6 +208,10 @@ class FrameCache:
         self._token: Optional[Tuple[int, int]] = None
         self.hits = 0
         self.misses = 0
+        # Fault seam: when set, called with the site name at the top of
+        # every lookup (see repro.testing.faults) — an eviction there
+        # must leave the engine on the recompute path, never corrupt it.
+        self.fault_hook: Optional[Callable[[str], None]] = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -219,6 +223,8 @@ class FrameCache:
             self._token = token
 
     def get(self, key: Tuple) -> Optional[Tuple[ColumnFrame, _Tally]]:
+        if self.fault_hook is not None:
+            self.fault_hook("frame_cache.get")
         entry = self._entries.get(key)
         if entry is not None:
             self._entries.move_to_end(key)
@@ -235,8 +241,18 @@ class FrameCache:
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
 
+    def invalidate(self) -> None:
+        """Explicitly drop every entry (eviction drills, out-of-band
+        data mutation); the next lookups recompute from the tables."""
+        self._entries.clear()
+
     def counters(self) -> Dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "entries": len(self._entries)}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "lookups": self.hits + self.misses,
+            "entries": len(self._entries),
+        }
 
 
 class ColumnarExecutor:

@@ -7,10 +7,24 @@ must not mutate it. Tests that need a mutable database build their own.
 from __future__ import annotations
 
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.datasets.movies import MovieDatasetConfig, build_movie_database
 from repro.sql.parser import parse_select
 from repro.workloads.profiles import generate_profile
+
+# One shared, pinned hypothesis profile for the whole suite: examples are
+# derived from the test name (derandomize) so every run — local or CI —
+# explores the same cases, and the wall-clock deadline is off because the
+# session-scoped database fixtures make first-example timings misleading.
+settings.register_profile(
+    "repro",
+    derandomize=True,
+    deadline=None,
+    max_examples=50,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
 
 SMALL_DATASET = MovieDatasetConfig(
     n_movies=800,

@@ -39,6 +39,7 @@ class TestParameterCache:
         assert cache.counters() == {
             "hits": 1,
             "misses": 1,
+            "lookups": 2,
             "invalidations": 0,
             "entries": 1,
         }
