@@ -11,7 +11,12 @@ A tiny K=15 workload asserting the cache machinery actually pays:
   nothing;
 * columnar execution with shared base frames must beat the row engine
   on the same personalized queries, with identical rows and receipts
-  (the gate that frame reuse stays profitable).
+  (the gate that frame reuse stays profitable);
+* ``parallelism=4`` must never be slower than ``parallelism=1`` on the
+  same stream (the ``auto`` backend degrades to serial whenever a pool
+  cannot pay, including on single-CPU hosts), and the process backend's
+  structurally batched :class:`SolvePlan` path must beat the cold
+  serial loop it replaces — identical receipts both times.
 
 Timing assertions are kept deliberately loose (best-of-N, 0.9x margin)
 so the check catches "the cache stopped working", not scheduler noise.
@@ -245,6 +250,114 @@ def test_columnar_shared_beats_row_engine():
     assert columnar_best <= row_best * WARM_MARGIN, (
         "columnar+shared %.4fs not faster than the row engine %.4fs"
         % (columnar_best, row_best)
+    )
+
+
+def _ladder(seed: int = 3, k: int = 14, steps: int = 10, repeats: int = 3):
+    """A replayed descending-cmax ladder over one synthetic space."""
+    import random
+
+    from repro.workloads.scenarios import make_synthetic_pspace
+
+    rng = random.Random(seed)
+    pspace = make_synthetic_pspace(
+        [round(rng.uniform(0.2, 1.0), 3) for _ in range(k)],
+        [round(rng.uniform(5.0, 60.0), 1) for _ in range(k)],
+    )
+    supreme = pspace.supreme_cost()
+    ladder = [
+        CQPProblem.problem2(cmax=(0.5 - 0.03 * step) * supreme)
+        for step in range(steps)
+    ]
+    return pspace, ladder * repeats
+
+
+def _receipts(solutions):
+    return [
+        None if s is None else (s.pref_indices, s.doi, s.cost)
+        for s in solutions
+    ]
+
+
+@pytest.mark.perfsmoke
+@pytest.mark.tier2
+def test_parallelism_never_slower_than_serial():
+    """The auto backend's bargain: asking for workers can only help.
+
+    On a single-CPU host (or any batch where a pool cannot pay) the
+    scheduler resolves ``auto`` to the serial loop, so ``parallelism=4``
+    must track ``parallelism=1`` within noise — never a pool-overhead
+    regression."""
+    from repro.core import adapters
+    from repro.core.algorithms.scheduler import SolveScheduler
+
+    pspace, stream = _ladder()
+    solve = lambda problem: adapters.solve(  # noqa: E731
+        pspace, problem, "c_boundaries"
+    )
+
+    serial_times, wide_times = [], []
+    serial_solutions = wide_solutions = None
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        serial_solutions = SolveScheduler(1).map(solve, stream)
+        serial_times.append(time.perf_counter() - started)
+        started = time.perf_counter()
+        wide_solutions = SolveScheduler(4, backend="auto").map(solve, stream)
+        wide_times.append(time.perf_counter() - started)
+
+    assert _receipts(wide_solutions) == _receipts(serial_solutions)
+    serial, wide = min(serial_times), min(wide_times)
+    # 10% + 50ms of grace: this is a no-regression gate, not a race.
+    assert wide <= serial * 1.10 + 0.05, (
+        "parallelism=4 (%.4fs) slower than parallelism=1 (%.4fs)"
+        % (wide, serial)
+    )
+
+
+@pytest.mark.perfsmoke
+@pytest.mark.tier2
+def test_process_plans_beat_the_cold_serial_loop():
+    """The process backend's bargain: structurally batched SolvePlans
+    (stacked frontier kernel + per-worker caches) must beat the cold
+    solve-per-problem loop they replace, pool spin-up included —
+    even on one CPU, because the batching does the heavy lifting."""
+    from repro.core import adapters
+    from repro.core.algorithms.scheduler import (
+        SolvePlan,
+        SolveScheduler,
+        fork_available,
+    )
+
+    if not fork_available():
+        pytest.skip("no fork on this platform")
+
+    pspace, stream = _ladder()
+
+    started = time.perf_counter()
+    cold_solutions = [
+        adapters.solve(pspace, problem, "c_boundaries") for problem in stream
+    ]
+    cold = time.perf_counter() - started
+
+    parallelism = 4
+    chunks = [stream[i::parallelism] for i in range(parallelism)]
+    plans = [
+        SolvePlan(pspace, tuple(chunk), algorithm="c_boundaries")
+        for chunk in chunks if chunk
+    ]
+    started = time.perf_counter()
+    with SolveScheduler(parallelism, backend="process") as scheduler:
+        solved = scheduler.solve_plans(plans)
+    batched = time.perf_counter() - started
+
+    solutions = [None] * len(stream)
+    for offset, chunk_solutions in enumerate(solved):
+        solutions[offset::parallelism] = chunk_solutions
+    assert _receipts(solutions) == _receipts(cold_solutions)
+    assert batched <= cold, (
+        "process-backend plans %.4fs not faster than the cold loop %.4fs"
+        % (batched, cold)
     )
 
 

@@ -23,7 +23,7 @@ other problems reuse them after re-orienting the transitions:
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.algorithms.base import get_algorithm
 from repro.core.preference_space import PreferenceSpace
@@ -165,3 +165,120 @@ def solve(
         algorithm="min_cost",
         stats=stats,
     )
+
+
+def _aligned_limit(problem: CQPProblem) -> float:
+    """The budget-axis limit a problem's aligned space carries."""
+    constraints = problem.constraints
+    if constraints.cmax is not None:
+        return constraints.cmax
+    return -constraints.smin
+
+
+def solve_many(
+    pspace: PreferenceSpace,
+    problems: Sequence[CQPProblem],
+    algorithm: str = "c_maxbounds",
+    algorithms: Optional[Sequence[Optional[str]]] = None,
+    mask_kernel: bool = True,
+    frontier_cache=None,
+) -> List[Optional[CQPSolution]]:
+    """Solve many problems over one preference space, sharing structure.
+
+    The batched twin of :func:`solve`, for the constraint-sweep and
+    batched-service regimes where one space is solved under many
+    constraint values. Three layers of sharing, all receipt-preserving:
+
+    * **deduplication** — identical ``(problem, algorithm)`` requests
+      are solved once and fan the same solution out to every position;
+    * **stacked frontier priming** — budget-aligned C-BOUNDARIES solves
+      are grouped per budget axis and their canonical frontiers computed
+      in one numpy program (:mod:`repro.core.algorithms.batch`), primed
+      into the axis's :class:`~repro.core.frontier_cache.FrontierMemo`
+      so each solve takes the exact-hit path and runs only phase 2;
+    * **warm chaining** — when the stacked kernel cannot serve an axis
+      (K too large, tuple kernel, cache disabled), unique solves still
+      run in descending-limit order so each sweep warm-starts from the
+      previous frontier.
+
+    ``algorithms`` optionally overrides the algorithm per problem (None
+    entries fall back to ``algorithm``). Results come back in input
+    order; duplicate requests share one solution object. When no
+    ``frontier_cache`` is given a batch-local cache carries the sharing;
+    a caller-supplied cache (including a disabled 0-capacity one) is
+    used as-is, so cache semantics match looping :func:`solve`.
+    """
+    from repro.core.algorithms.batch import stacked_frontiers, stacked_supported
+    from repro.core.frontier_cache import FrontierCache
+
+    problems = list(problems)
+    if algorithms is None:
+        resolved = [algorithm] * len(problems)
+    else:
+        resolved = [alg if alg is not None else algorithm for alg in algorithms]
+        if len(resolved) != len(problems):
+            raise SearchError(
+                "solve_many got %d problems but %d algorithms"
+                % (len(problems), len(resolved))
+            )
+    if not problems:
+        return []
+    cache = frontier_cache if frontier_cache is not None else FrontierCache()
+
+    unique: Dict[Tuple[CQPProblem, str], Optional[CQPSolution]] = {}
+    for problem, alg in zip(problems, resolved):
+        unique.setdefault((problem, alg), None)
+
+    # Partition the unique work: budget-aligned doi solves share an axis
+    # (frontier priming / warm chaining); everything else — the D-vector
+    # algorithms and the Problem 4-6 minimal-state search — shares only
+    # the evaluator through the cache.
+    aligned: Dict[str, List[Tuple[CQPProblem, str]]] = {}
+    rest: List[Tuple[CQPProblem, str]] = []
+    for problem, alg in unique:
+        if problem.objective is Parameter.DOI and alg not in _DOI_VECTOR_ALGORITHMS:
+            axis = "cost" if problem.constraints.cmax is not None else "size"
+            aligned.setdefault(axis, []).append((problem, alg))
+        else:
+            rest.append((problem, alg))
+
+    for axis_entries in aligned.values():
+        # Descending limit order: each solve either exact-hits a primed
+        # frontier or warm-starts from the previous (looser) one.
+        axis_entries.sort(key=lambda entry: _aligned_limit(entry[0]), reverse=True)
+        primed: Dict[float, Tuple] = {}
+        memo = None
+        boundary_limits = [
+            _aligned_limit(problem)
+            for problem, alg in axis_entries
+            if alg == "c_boundaries"
+        ]
+        # The 2^K table pays for itself only when it serves several
+        # boundary sweeps; a lone solve keeps the plain/warm-chain path.
+        if len(boundary_limits) > 1:
+            bundle = SpaceBundle(
+                pspace,
+                axis_entries[0][0],
+                mask_kernel=mask_kernel,
+                frontier_cache=cache,
+            )
+            space = bundle.aligned_space()
+            memo = space.frontier
+            if memo is not None and stacked_supported(space):
+                primed = stacked_frontiers(space, boundary_limits)
+        for problem, alg in axis_entries:
+            limit = _aligned_limit(problem)
+            if memo is not None and alg == "c_boundaries" and limit in primed:
+                # Stored immediately before its solve so the memo's LRU
+                # can never evict a primed frontier before it is used.
+                memo.store(limit, primed[limit])
+            unique[(problem, alg)] = solve(
+                pspace, problem, alg, mask_kernel=mask_kernel, frontier_cache=cache
+            )
+
+    for problem, alg in rest:
+        unique[(problem, alg)] = solve(
+            pspace, problem, alg, mask_kernel=mask_kernel, frontier_cache=cache
+        )
+
+    return [unique[(problem, alg)] for problem, alg in zip(problems, resolved)]

@@ -256,6 +256,47 @@ class StateEvaluator:
         gather = self._gather
         return [base * math.prod(gather(reductions, mask)) for mask in masks]
 
+    # -- stacked mask entry points (vectorized, bit-identical) -------------------------
+
+    def cost_mask_stacked(self, masks) -> "object":
+        """Costs of a *stacked* numpy vector of mask states.
+
+        One numpy program instead of a Python loop: the per-preference
+        cost is added into every selected accumulator slot in ascending
+        P-index order — the exact order :meth:`cost_mask`'s gather sums
+        in — so each figure is the same IEEE-754 left-to-right sum the
+        scalar kernel produces, bit for bit. Results bypass the caches
+        of the cached subclass (the caller typically covers the whole
+        mask space once; caching would only duplicate the table).
+        """
+        import numpy as np
+
+        masks = np.asarray(masks, dtype=np.int64)
+        self.evaluations += int(masks.size)
+        out = np.zeros(masks.shape, dtype=np.float64)
+        for index, value in enumerate(self.cost_values):
+            out[(masks >> index) & 1 == 1] += value
+        if self.base_cost:
+            out[masks == 0] = self.base_cost
+        return out
+
+    def size_independent_mask_stacked(self, masks) -> "object":
+        """Independence-product sizes of a stacked mask vector.
+
+        Mirrors :meth:`size_independent_mask` exactly: the reduction
+        product accumulates in ascending P-index order starting from 1,
+        and ``base_size`` multiplies the finished product — the same
+        operation order, so the same bits.
+        """
+        import numpy as np
+
+        masks = np.asarray(masks, dtype=np.int64)
+        self.evaluations += int(masks.size)
+        acc = np.ones(masks.shape, dtype=np.float64)
+        for index, value in enumerate(self.reductions):
+            acc[(masks >> index) & 1 == 1] *= value
+        return self.base_size * acc
+
     def supreme_cost(self) -> float:
         """Cost of the query incorporating *all* preferences — the paper's
         Supreme Cost, the 100% point of the cmax sweeps."""

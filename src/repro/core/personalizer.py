@@ -181,6 +181,107 @@ class Personalizer:
             preference_space=pspace,
         )
 
+    def personalize_many(
+        self,
+        query: Union[str, SelectQuery],
+        profile: UserProfile,
+        problems: List[CQPProblem],
+        algorithms: Optional[List[Optional[str]]] = None,
+        k_limit: Optional[int] = None,
+    ) -> List[PersonalizationOutcome]:
+        """Personalize one query under many problems, extracting once.
+
+        The batched twin of :meth:`personalize` for same-space request
+        groups: extraction (the expensive profile walk) runs once, and
+        the solves go through :func:`repro.core.adapters.solve_many`,
+        which dedupes identical requests and primes the frontier memo
+        from the stacked batch kernel. Every outcome is bit-identical
+        to what a :meth:`personalize` loop would return.
+
+        All problems must agree on the constraint fields extraction
+        prunes on (``cmax`` and ``smin`` — see
+        :func:`~repro.core.preference_space.extract_preference_space`);
+        callers group requests accordingly. The batch's parameter-cache
+        delta is attributed to the first solved outcome (per-member
+        attribution is meaningless once pricing is shared).
+        """
+        from repro.errors import PreferenceError
+
+        if isinstance(query, str):
+            query = parse_select(query)
+        if not problems:
+            return []
+        pruning_keys = {
+            (problem.constraints.cmax, problem.constraints.smin)
+            for problem in problems
+        }
+        if len(pruning_keys) > 1:
+            raise PreferenceError(
+                "personalize_many needs one extraction, but the problems "
+                "disagree on (cmax, smin): %r" % sorted(pruning_keys)
+            )
+        if algorithms is None:
+            algorithms = [None] * len(problems)
+        resolved: List[str] = []
+        for problem, algorithm in zip(problems, algorithms):
+            if algorithm is None:
+                algorithm = (
+                    self.default_algorithm
+                    if not problem.constraints.has_size_bounds
+                    else adapters.recommended_algorithm(problem)
+                )
+            resolved.append(algorithm)
+
+        hits_before = self.param_cache.hits
+        misses_before = self.param_cache.misses
+        self.frontier_cache.validate(self.database.stats_token)
+        pspace = extract_preference_space(
+            self.database,
+            query,
+            profile,
+            constraints=problems[0].constraints,
+            algebra=self.algebra,
+            k_limit=k_limit,
+            param_cache=self.param_cache,
+        )
+        if pspace.k > 0:
+            solutions = adapters.solve_many(
+                pspace,
+                problems,
+                algorithms=resolved,
+                mask_kernel=self.mask_kernel,
+                frontier_cache=self.frontier_cache,
+            )
+        else:
+            solutions = [None] * len(problems)
+        delta_hits = self.param_cache.hits - hits_before
+        delta_misses = self.param_cache.misses - misses_before
+        for solution in solutions:
+            if solution is not None:
+                solution.stats.param_cache_hits += delta_hits
+                solution.stats.param_cache_misses += delta_misses
+                break
+
+        outcomes: List[PersonalizationOutcome] = []
+        rewriter = QueryRewriter(query, schema=self.database.schema)
+        for problem, solution in zip(problems, solutions):
+            paths = (
+                [pspace.paths[i] for i in solution.pref_indices]
+                if solution is not None
+                else []
+            )
+            outcomes.append(
+                PersonalizationOutcome(
+                    problem=problem,
+                    original_query=query,
+                    personalized_query=rewriter.personalized_query(paths),
+                    solution=solution,
+                    paths=paths,
+                    preference_space=pspace,
+                )
+            )
+        return outcomes
+
     def execute(
         self, outcome: PersonalizationOutcome, frame_cache=None
     ) -> ExecutionResult:

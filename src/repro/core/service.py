@@ -122,6 +122,8 @@ class PersonalizationService:
         parallelism: int = 1,
         fault_injector=None,
         solve_retries: int = 1,
+        backend: str = "auto",
+        structural_batching: bool = True,
     ) -> None:
         """``relearn_every``: after that many requests a user's profile is
         re-blended with one learned from their query log (0 = never).
@@ -141,7 +143,16 @@ class PersonalizationService:
         ``solve_retries`` is how many times a transiently failed group
         solve is retried in place before the cold single-threaded
         fallback runs it (see
-        :class:`~repro.core.algorithms.scheduler.SolveScheduler`)."""
+        :class:`~repro.core.algorithms.scheduler.SolveScheduler`).
+
+        ``backend`` picks the scheduler's pool flavor for the fan-out
+        (``"auto"``/``"serial"``/``"thread"``/``"process"`` — see the
+        scheduler module; auto degrades to serial whenever a pool
+        cannot pay). ``structural_batching`` clusters same-extraction
+        request groups into one :meth:`Personalizer.personalize_many`
+        call each, so extraction runs once per cluster and the solves
+        share the stacked frontier kernel; responses stay bit-identical
+        to the group-at-a-time path."""
         if relearn_every < 0:
             raise ValueError("relearn_every must be >= 0")
         if parallelism < 1:
@@ -150,6 +161,8 @@ class PersonalizationService:
             raise ValueError("solve_retries must be >= 0")
         self.parallelism = parallelism
         self.solve_retries = solve_retries
+        self.backend = backend
+        self.structural_batching = structural_batching
         self.fault_injector = fault_injector
         self.personalizer = Personalizer(
             database,
@@ -375,36 +388,79 @@ class PersonalizationService:
             key = (user, to_sql(query), problem, algorithm, k_limit)
             groups.setdefault(key, []).append(position)
 
-        def personalize_group(members: Sequence[int]) -> PersonalizationOutcome:
-            user, query, problem, algorithm, k_limit = specs[members[0]]
-            return self.personalizer.personalize(
+        member_lists = list(groups.values())
+
+        # Structural batching clusters groups that share an extraction —
+        # same user, query, k_limit, and the constraint fields the
+        # extractor prunes on (cmax/smin) — into supergroups; each
+        # supergroup is one scheduler task running personalize_many
+        # (extract once, stacked solves). With batching off, every
+        # supergroup is a singleton running the legacy per-group
+        # personalize. Either way a task returns the outcome list of its
+        # member groups, so payloads never depend on the clustering.
+        if self.structural_batching:
+            clusters: Dict[Tuple, List[int]] = {}
+            for index, members in enumerate(member_lists):
+                user, query, problem, _, k_limit = specs[members[0]]
+                cluster_key = (
+                    user,
+                    to_sql(query),
+                    k_limit,
+                    problem.constraints.cmax,
+                    problem.constraints.smin,
+                )
+                clusters.setdefault(cluster_key, []).append(index)
+            super_lists = list(clusters.values())
+        else:
+            super_lists = [[index] for index in range(len(member_lists))]
+
+        def personalize_super(group_indices: Sequence[int]) -> List[PersonalizationOutcome]:
+            user, query, _, _, k_limit = specs[member_lists[group_indices[0]][0]]
+            if not self.structural_batching and len(group_indices) == 1:
+                _, _, problem, algorithm, _ = specs[member_lists[group_indices[0]][0]]
+                return [
+                    self.personalizer.personalize(
+                        query,
+                        self._state(user).profile,
+                        problem,
+                        algorithm=algorithm,
+                        k_limit=k_limit,
+                    )
+                ]
+            problems = [specs[member_lists[i][0]][2] for i in group_indices]
+            algorithms = [specs[member_lists[i][0]][3] for i in group_indices]
+            return self.personalizer.personalize_many(
                 query,
                 self._state(user).profile,
-                problem,
-                algorithm=algorithm,
+                problems,
+                algorithms=algorithms,
                 k_limit=k_limit,
             )
 
-        def personalize_group_cold(members: Sequence[int]) -> PersonalizationOutcome:
+        def personalize_super_cold(group_indices: Sequence[int]) -> List[PersonalizationOutcome]:
             # Degraded path after exhausted retries: drop every shared
             # memo (any of them could have been mid-write when the fault
             # hit) and re-solve on the calling thread. The caches only
             # memoize pure functions, so the cold re-solve's payload is
             # bit-identical to what the clean run would have returned.
             self.personalizer.invalidate_caches()
-            return personalize_group(members)
+            return personalize_super(group_indices)
 
-        member_lists = list(groups.values())
         workers = self.parallelism if max_workers is None else max_workers
         faults_before = self._faults_so_far()
         scheduler = SolveScheduler(
             max(1, workers),
             retries=self.solve_retries,
             fault_injector=self.fault_injector,
+            backend=self.backend,
         )
-        outcomes = scheduler.map(
-            personalize_group, member_lists, fallback=personalize_group_cold
+        super_outcomes = scheduler.map(
+            personalize_super, super_lists, fallback=personalize_super_cold
         )
+        outcomes: List[Optional[PersonalizationOutcome]] = [None] * len(member_lists)
+        for group_indices, outcome_list in zip(super_lists, super_outcomes):
+            for index, outcome in zip(group_indices, outcome_list):
+                outcomes[index] = outcome
 
         batch_frames = FrameCache() if execute else None
         if batch_frames is not None and self.fault_injector is not None:
@@ -425,11 +481,14 @@ class PersonalizationService:
             for position in members:
                 responses[position] = replace(template)
         # Resilience counters are batch totals: fault attribution inside
-        # a thread pool is ambiguous, and what callers act on ("did this
-        # batch degrade, and how often?") is the aggregate anyway.
-        faults = self._faults_so_far() - faults_before
+        # a pool is ambiguous, and what callers act on ("did this batch
+        # degrade, and how often?") is the aggregate anyway. Faults that
+        # fired inside forked workers never touch the parent injector;
+        # they come home in the workers' result envelopes as
+        # ``scheduler.remote_faults`` and are folded in here.
+        faults = self._faults_so_far() - faults_before + scheduler.remote_faults
         if self.fault_injector is None:
-            faults = scheduler.faults_seen
+            faults = scheduler.faults_seen + scheduler.remote_faults
         if faults or scheduler.fallbacks_taken:
             for position, response in enumerate(responses):
                 responses[position] = replace(

@@ -7,6 +7,7 @@ Table 1 problem is solved at every point of
 
     {c_boundaries, c_maxbounds, exhaustive} × {row, columnar}
         × {caches off, on, warm} × {parallelism 1, 4}
+        × {serial, thread, process} × {batched, unbatched}
 
 and checked two ways:
 
@@ -37,7 +38,7 @@ from itertools import combinations
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core import adapters
-from repro.core.algorithms.scheduler import SolveScheduler
+from repro.core.algorithms.scheduler import SolvePlan, SolveScheduler, fork_available
 from repro.core.frontier_cache import FrontierCache
 from repro.core.param_cache import ParameterCache
 from repro.core.problem import CQPProblem, Parameter
@@ -51,6 +52,9 @@ EXACT_ALGORITHMS = frozenset({"c_boundaries", "exhaustive", "min_cost"})
 CACHE_MODES = ("off", "on", "warm")
 ENGINES = ("row", "columnar")
 PARALLELISMS = (1, 4)
+# "thread" on the legacy points keeps their historical coverage (the
+# scheduler's auto backend would degrade them to serial on small hosts).
+BACKENDS = ("serial", "thread", "process")
 
 
 class DifferentialFailure(AssertionError):
@@ -63,19 +67,30 @@ class DifferentialFailure(AssertionError):
 
 @dataclass(frozen=True)
 class LatticePoint:
-    """One configuration of the correctness lattice."""
+    """One configuration of the correctness lattice.
+
+    ``backend`` is the scheduler pool flavor the point's solves fan out
+    on; ``batched`` routes the point's problems through the structural
+    batching path (:func:`repro.core.adapters.solve_many`, or
+    :class:`~repro.core.algorithms.scheduler.SolvePlan` dispatch under
+    the process backend) instead of one solve per problem.
+    """
 
     algorithm: str
     engine: str = "columnar"
     cache: str = "off"
     parallelism: int = 1
+    backend: str = "thread"
+    batched: bool = False
 
     def __str__(self) -> str:
-        return "%s/engine=%s/cache=%s/parallelism=%d" % (
+        return "%s/engine=%s/cache=%s/parallelism=%d/backend=%s/batched=%s" % (
             self.algorithm,
             self.engine,
             self.cache,
             self.parallelism,
+            self.backend,
+            self.batched,
         )
 
 
@@ -206,7 +221,9 @@ def exhaustive_oracle(pspace, problem: CQPProblem) -> Receipt:
 
 def solver_lattice() -> List[LatticePoint]:
     """Every (algorithm, cache, parallelism) point of the solve-only
-    lattice (the engine axis needs execution; see the service lattice)."""
+    lattice (the engine axis needs execution; see the service lattice),
+    plus the full {serial, thread, process} × {batched, unbatched}
+    cross per algorithm at the cache="on" column."""
     points = []
     for algorithm in DOI_ALGORITHMS + ("min_cost",):
         for cache in CACHE_MODES:
@@ -214,6 +231,17 @@ def solver_lattice() -> List[LatticePoint]:
                 points.append(
                     LatticePoint(
                         algorithm=algorithm, cache=cache, parallelism=parallelism
+                    )
+                )
+        for backend in BACKENDS:
+            for batched in (False, True):
+                points.append(
+                    LatticePoint(
+                        algorithm=algorithm,
+                        cache="on",
+                        parallelism=4,
+                        backend=backend,
+                        batched=batched,
                     )
                 )
     return points
@@ -225,13 +253,45 @@ def _solve_problems(
     algorithm: str,
     cache: Optional[FrontierCache],
     parallelism: int,
+    backend: str = "thread",
+    batched: bool = False,
 ) -> List[Optional[CQPSolution]]:
-    """The per-problem solves of one lattice point, possibly fanned out."""
+    """The solves of one lattice point, possibly fanned out or batched.
+
+    ``batched`` routes through the structural-batching path: one
+    :func:`adapters.solve_many` call (which dedupes and primes the
+    stacked frontier kernel), or — under a multi-worker process
+    backend — two :class:`SolvePlan` halves dispatched to the forked
+    plan pool, exercising pickled plans, per-worker caches and result
+    envelopes. Unbatched points map one solve per problem through the
+    scheduler on the requested backend.
+    """
+    work = list(problems)
+
+    if batched:
+        if (
+            backend == "process"
+            and parallelism > 1
+            and len(work) > 1
+            and fork_available()
+        ):
+            half = (len(work) + 1) // 2
+            plans = [
+                SolvePlan(pspace, tuple(chunk), algorithm=algorithm)
+                for chunk in (work[:half], work[half:])
+                if chunk
+            ]
+            with SolveScheduler(parallelism, backend=backend) as scheduler:
+                solved = scheduler.solve_plans(plans)
+            return [solution for chunk in solved for solution in chunk]
+        return adapters.solve_many(
+            pspace, work, algorithm=algorithm, frontier_cache=cache
+        )
 
     def solve_one(problem: CQPProblem) -> Optional[CQPSolution]:
         return adapters.solve(pspace, problem, algorithm, frontier_cache=cache)
 
-    return SolveScheduler(parallelism).map(solve_one, list(problems))
+    return SolveScheduler(parallelism, backend=backend).map(solve_one, work)
 
 
 def _check_oracle(
@@ -315,27 +375,38 @@ def run_solver_lattice(
                 "on": FrontierCache(),
                 "warm": warm_cache,
             }[point.cache]
-            for number in numbers:
+            # Problems 4-6 run the dedicated minimal-state search
+            # whatever the doi algorithm axis says (and vice versa);
+            # each is covered by its own points.
+            applicable = [
+                number
+                for number in numbers
+                if _algorithm_for(problems[number], point.algorithm)
+                == point.algorithm
+            ]
+            if not applicable:
+                continue
+            solutions = _solve_problems(
+                pspace,
+                [problems[number] for number in applicable],
+                point.algorithm,
+                cache,
+                point.parallelism,
+                backend=point.backend,
+                batched=point.batched,
+            )
+            for number, solution in zip(applicable, solutions):
                 problem = problems[number]
-                algorithm = _algorithm_for(problem, point.algorithm)
                 maximizing = problem.objective is Parameter.DOI
-                if algorithm != point.algorithm:
-                    # Problems 4-6 run the dedicated minimal-state
-                    # search whatever the doi algorithm axis says (and
-                    # vice versa); each is covered by its own points.
-                    continue
-                solutions = _solve_problems(
-                    pspace, [problem], algorithm, cache, point.parallelism
-                )
-                receipt = Receipt.of(solutions[0])
-                if solutions[0] is not None:
-                    check_search_stats(solutions[0].stats)
+                receipt = Receipt.of(solution)
+                if solution is not None:
+                    check_search_stats(solution.stats)
                 report.solves += 1
                 _check_oracle(
                     point, number, seed, oracles[number], receipt, maximizing
                 )
                 report.oracle_checks += 1
-                key = (algorithm, number)
+                key = (point.algorithm, number)
                 reference = references.get(key)
                 if reference is None:
                     references[key] = receipt
@@ -362,7 +433,8 @@ def _algorithm_for(problem: CQPProblem, requested: str) -> str:
 
 def service_lattice() -> List[LatticePoint]:
     """Every (algorithm, engine, cache, parallelism) point of the
-    end-to-end lattice."""
+    end-to-end lattice, plus the backend × batched cross on the
+    columnar engine."""
     points = []
     for algorithm in DOI_ALGORITHMS:
         for engine in ENGINES:
@@ -376,6 +448,18 @@ def service_lattice() -> List[LatticePoint]:
                             parallelism=parallelism,
                         )
                     )
+        for backend in BACKENDS:
+            for batched in (False, True):
+                points.append(
+                    LatticePoint(
+                        algorithm=algorithm,
+                        engine="columnar",
+                        cache="on",
+                        parallelism=4,
+                        backend=backend,
+                        batched=batched,
+                    )
+                )
     return points
 
 
@@ -426,6 +510,8 @@ def run_service_lattice(
             param_cache=ParameterCache(0 if point.cache == "off" else 65536),
             frontier_cache=FrontierCache(0 if point.cache == "off" else 256),
             parallelism=point.parallelism,
+            backend=point.backend,
+            structural_batching=point.batched,
         )
         service.register("lattice-user", profile)
         batch = [

@@ -1,0 +1,134 @@
+"""Shared-memory column export/attach for forked workers.
+
+The export must round-trip every fixed-dtype column bit-identically as
+a zero-copy read-only view; tables that cannot be represented at fixed
+dtype are skipped wholesale (workers recompute from the fork-copied
+rows); an attach against a mutated database must refuse; and the parent
+export owns segment lifetime.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.storage.database import Database
+from repro.storage.datatypes import DataType
+from repro.storage.schema import Attribute, Relation, Schema
+from repro.storage.shm import attach_columns, export_columns
+
+
+def _toy_database() -> Database:
+    schema = Schema()
+    schema.add_relation(
+        Relation(
+            "ITEM",
+            [
+                Attribute("id", DataType.INTEGER),
+                Attribute("label", DataType.STRING, width=16),
+                Attribute("score", DataType.FLOAT),
+            ],
+            primary_key="id",
+        )
+    )
+    schema.add_relation(
+        Relation(
+            "RAGGED",
+            [
+                Attribute("id", DataType.INTEGER),
+                Attribute("note", DataType.STRING, width=16),
+            ],
+            primary_key="id",
+        )
+    )
+    database = Database(schema)
+    database.load(
+        "ITEM",
+        [(n, "item-%d" % n, n / 8.0) for n in range(40)],
+    )
+    # A None makes the whole RAGGED table unshareable.
+    database.load("RAGGED", [(1, "kept"), (2, None)])
+    database.analyze()
+    return database
+
+
+class TestExportAttach:
+    def test_round_trip_is_bit_identical_and_zero_copy(self):
+        database = _toy_database()
+        originals = [list(col) for col in database.table("ITEM").column_arrays()]
+        with export_columns(database) as export:
+            # Drop the parent-side cache so the attach visibly replaces it.
+            database.table("ITEM")._column_cache = None
+            attached = attach_columns(database, export.handle)
+            assert attached == ["ITEM"]
+            views = database.table("ITEM").column_arrays()
+            for view, original in zip(views, originals):
+                assert isinstance(view, np.ndarray)
+                assert not view.flags.writeable
+                assert list(view) == original
+            # numpy scalars behave like the Python values they hold.
+            assert views[1][3] == "item-3"
+            assert hash(views[0][7]) == hash(7)
+
+    def test_unshareable_tables_are_skipped_wholesale(self):
+        database = _toy_database()
+        with export_columns(database) as export:
+            assert "RAGGED" not in export.handle.tables
+            assert "ITEM" in export.handle.tables
+
+    def test_explicit_table_selection(self):
+        database = _toy_database()
+        with export_columns(database, tables=["ITEM"]) as export:
+            assert list(export.handle.tables) == ["ITEM"]
+
+    def test_stale_token_refuses_to_attach(self):
+        database = _toy_database()
+        with export_columns(database) as export:
+            database.analyze()  # bumps the stats token
+            with pytest.raises(ValueError):
+                attach_columns(database, export.handle)
+
+    def test_close_unlinks_and_is_idempotent(self):
+        from multiprocessing import shared_memory
+
+        database = _toy_database()
+        export = export_columns(database)
+        segment_name = export.handle.tables["ITEM"][0][0]
+        export.close()
+        export.close()  # idempotent
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=segment_name)
+
+
+def _scan_in_child(database, handle, out):
+    attached = attach_columns(database, handle)
+    columns = database.table("ITEM").column_arrays()
+    out.put((attached, int(columns[0][5]), str(columns[1][5]), float(columns[2][5])))
+
+
+class TestForkedWorker:
+    @pytest.mark.skipif(
+        "fork" not in multiprocessing.get_all_start_methods(),
+        reason="no fork on this platform",
+    )
+    def test_child_attaches_and_scans_parent_segments(self):
+        # The token embeds the database's object identity, so only the
+        # fork-inherited database (same address in the child) attaches.
+        database = _toy_database()
+        with export_columns(database) as export:
+            ctx = multiprocessing.get_context("fork")
+            out = ctx.Queue()
+            child = ctx.Process(
+                target=_scan_in_child, args=(database, export.handle, out)
+            )
+            child.start()
+            attached, ident, label, score = out.get(timeout=30)
+            child.join(timeout=30)
+            assert child.exitcode == 0
+            assert attached == ["ITEM"]
+            assert (ident, label, score) == (5, "item-5", 5 / 8.0)
+        # The child exited while attached; its resource tracker must not
+        # have unlinked the parent-owned segments (the export still had
+        # them until the with-block closed just now).

@@ -46,11 +46,20 @@ class TestLatticeShape:
     def test_service_lattice_adds_the_engine_axis(self):
         points = service_lattice()
         assert {p.engine for p in points} == {"row", "columnar"}
-        assert len(points) == 3 * 2 * 3 * 2
+        # The classic cross plus the backend × batched cross per algorithm.
+        assert len(points) == 3 * 2 * 3 * 2 + 3 * 3 * 2
+
+    def test_solver_lattice_spans_backends_and_batching(self):
+        points = solver_lattice()
+        assert {p.backend for p in points} == {"serial", "thread", "process"}
+        assert {p.batched for p in points} == {False, True}
 
     def test_point_renders_a_reproduction_recipe(self):
         point = LatticePoint("c_boundaries", cache="warm", parallelism=4)
-        assert str(point) == "c_boundaries/engine=columnar/cache=warm/parallelism=4"
+        assert str(point) == (
+            "c_boundaries/engine=columnar/cache=warm/parallelism=4"
+            "/backend=thread/batched=False"
+        )
 
 
 class TestSolverLattice:
@@ -62,10 +71,11 @@ class TestSolverLattice:
         assert report.receipt_checks > 0
 
     def test_receipts_are_compared_across_cache_and_parallelism(self):
-        # 6 cache×parallelism points per algorithm → 5 receipt
-        # comparisons per (algorithm, problem) beyond the reference.
+        # 12 points per algorithm (6 cache×parallelism + 6 backend×batched)
+        # → 11 receipt comparisons per (algorithm, problem) beyond the
+        # reference.
         report = run_solver_lattice([0])
-        assert report.receipt_checks == report.solves - report.solves // 6
+        assert report.receipt_checks == report.solves - report.solves // 12
 
 
 class TestServiceLattice:
