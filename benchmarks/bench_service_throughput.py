@@ -15,7 +15,11 @@ is built for):
   stream: one solve and one execution per (user, query) group;
 * **batched_multicore** — the same batch on a service with
   ``parallelism=4, backend="process"``: supergroup personalization
-  fans out to forked workers. Before the run the database's column
+  fans out to forked workers;
+* **compiled_snapshot** — the ladder's last rung: the population is
+  compiled offline (:func:`repro.workloads.compiler.compile_workload`)
+  and a *fresh* service boots from the snapshot, so the same stream is
+  served entirely out of precomputed pricing, frontiers, and frames. Before the run the database's column
   arrays are exported to :mod:`multiprocessing.shared_memory` and
   attached in the parent, so every forked worker inherits zero-copy
   shm-backed column caches instead of rebuilding (and copy-on-write
@@ -225,6 +229,24 @@ def main() -> int:
             results["batched_multicore"] = run_batched(multicore_service, stream)
         print("batched_multicore:   %s (shm tables: %s)"
               % (results["batched_multicore"], ",".join(shared_tables) or "none"))
+
+    # The compiled rung: precompute the whole population offline, then
+    # serve the same stream from a freshly booted snapshot-warm service.
+    from repro.workloads.compiler import compile_workload
+
+    started = time.perf_counter()
+    compiled = compile_workload(
+        database, profiles, queries,
+        [CQPProblem.problem2(cmax=CMAX)],
+        k_limit=K,
+    )
+    compile_s = time.perf_counter() - started
+    compiled_service = PersonalizationService(database, snapshot=compiled)
+    for index, profile in enumerate(profiles):
+        compiled_service.register("user-%02d" % index, profile)
+    results["compiled_snapshot"] = run_batched(compiled_service, stream)
+    results["compiled_snapshot"]["compile_s"] = round(compile_s, 4)
+    print("compiled_snapshot:   %s" % results["compiled_snapshot"])
 
     exec_heavy = run_exec_heavy(database, profiles, queries)
     print("exec_heavy:          %s" % exec_heavy)

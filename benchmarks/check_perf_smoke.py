@@ -253,6 +253,74 @@ def test_columnar_shared_beats_row_engine():
     )
 
 
+@pytest.mark.perfsmoke
+@pytest.mark.tier2
+def test_snapshot_warm_boot_beats_uncompiled_cold_start():
+    """The workload-compiler gate: a fresh service booted from a
+    compiled snapshot must answer the workload's first requests faster
+    than an uncompiled fresh service — with bit-identical responses and
+    the counters proving *why* (every warm request is answered without
+    a single cache miss)."""
+    from repro.testing.differential import Receipt
+    from repro.workloads.compiler import compile_workload
+    from repro.workloads.queries import generate_queries as _queries
+
+    database, profile, _ = _workload()
+    queries = _queries(count=3, seed=0)
+    problem = CQPProblem.problem2(cmax=400.0)
+    # c_boundaries: the one Table 1 algorithm that exercises all three
+    # caches (pricing, frontier memos, frames) on the serve path.
+    compiled = compile_workload(
+        database, [profile], queries, [problem],
+        algorithms=["c_boundaries"], k_limit=K,
+    )
+
+    def first_touch(snapshot):
+        service = PersonalizationService(database, snapshot=snapshot)
+        service.register("al", profile)
+        started = time.perf_counter()
+        responses = [
+            service.request(
+                "al", query, problem=problem,
+                algorithm="c_boundaries", k_limit=K,
+            )
+            for query in queries
+        ]
+        elapsed = time.perf_counter() - started
+        prints = [
+            (r.outcome.sql, Receipt.of(r.outcome.solution), r.rows)
+            for r in responses
+        ]
+        return elapsed, prints, service
+
+    cold_times, warm_times = [], []
+    cold_prints = warm_prints = warm_service = None
+    for _ in range(ROUNDS):
+        elapsed, prints, _service = first_touch(None)
+        cold_times.append(elapsed)
+        assert cold_prints is None or prints == cold_prints
+        cold_prints = prints
+        elapsed, prints, warm_service = first_touch(compiled)
+        warm_times.append(elapsed)
+        assert warm_prints is None or prints == warm_prints
+        warm_prints = prints
+
+    # Deterministic part: identical responses, and the warm service
+    # never missed — the compiler precomputed everything this workload
+    # touches.
+    assert warm_prints == cold_prints
+    telemetry = warm_service.cache_telemetry()
+    for cache in ("param_cache", "frontier_cache", "frame_cache"):
+        assert telemetry[cache]["hits"] > 0, cache
+        assert telemetry[cache]["misses"] == 0, cache
+
+    cold, warm = min(cold_times), min(warm_times)
+    assert warm <= cold * WARM_MARGIN, (
+        "snapshot-warm cold start %.4fs not faster than uncompiled %.4fs"
+        % (warm, cold)
+    )
+
+
 def _ladder(seed: int = 3, k: int = 14, steps: int = 10, repeats: int = 3):
     """A replayed descending-cmax ladder over one synthetic space."""
     import random

@@ -114,7 +114,10 @@ def space_signature(pspace) -> Tuple:
         tuple(pspace.reductions),
         pspace.base_size,
         pspace.base_cost,
-        (pspace.algebra.name, id(pspace.algebra)),
+        # The algebra's *semantic* signature, not its object identity:
+        # stable across processes, so signatures recorded in a persisted
+        # workload snapshot key the same entries after a restart.
+        pspace.algebra.signature,
         tuple(sorted(tuple(sorted(pair)) for pair in pspace.conflicts)),
     )
 
@@ -155,14 +158,31 @@ class FrontierMemo:
             return None, seeds
 
     def store(self, limit: float, frontier: Frontier) -> None:
-        with self._cache._lock:
+        cache = self._cache
+        with cache._lock:
+            previous = self._entries.get(limit)
+            if previous is not None:
+                cache._frontier_bytes -= _frontier_nbytes(previous)
             self._entries[limit] = frontier
+            cache._frontier_bytes += _frontier_nbytes(frontier)
             self._entries.move_to_end(limit)
             while len(self._entries) > FRONTIER_LIMITS_PER_MEMO:
-                self._entries.popitem(last=False)
+                _, evicted = self._entries.popitem(last=False)
+                cache._frontier_bytes -= _frontier_nbytes(evicted)
+                cache.evictions += 1
 
     def __len__(self) -> int:
         return len(self._entries)
+
+
+def _frontier_nbytes(frontier: Frontier) -> int:
+    """A coarse resident-size estimate of one stored frontier.
+
+    Tuple overhead plus one machine word per rank component — the same
+    order of magnitude ``sys.getsizeof`` would report, cheap enough to
+    maintain incrementally on every store/evict.
+    """
+    return 56 + sum(56 + 8 * len(state) for state in frontier)
 
 
 class FrontierCache:
@@ -186,6 +206,12 @@ class FrontierCache:
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
+        self.evictions = 0
+        # Incrementally maintained estimate of the bytes pinned by the
+        # stored frontiers (evaluator mask caches grow on demand and are
+        # estimated from their pinned parameter arrays in counters()).
+        self._frontier_bytes = 0
+        self._evaluator_bytes = 0
         # Fault seam: when set, called (outside the lock) with the site
         # name before every frontier lookup and evaluator fetch. The
         # deterministic injector in repro.testing.faults uses it to
@@ -229,6 +255,8 @@ class FrontierCache:
         for memo in self._memos.values():
             memo._entries.clear()
         self._memos.clear()
+        self._frontier_bytes = 0
+        self._evaluator_bytes = 0
 
     # -- the two entry points ------------------------------------------------------
 
@@ -255,8 +283,11 @@ class FrontierCache:
             if existing is not None:
                 return existing
             self._evaluators[signature] = evaluator
+            self._evaluator_bytes += _evaluator_nbytes(evaluator)
             while len(self._evaluators) > self.capacity:
-                self._evaluators.popitem(last=False)
+                _, dropped = self._evaluators.popitem(last=False)
+                self._evaluator_bytes -= _evaluator_nbytes(dropped)
+                self.evictions += 1
         return evaluator
 
     def memo_for(self, signature: Tuple, vector: Tuple[int, ...], axis: str
@@ -271,21 +302,90 @@ class FrontierCache:
                 memo = FrontierMemo(self)
                 self._memos[key] = memo
                 while len(self._memos) > self.capacity:
-                    self._memos.popitem(last=False)
+                    _, dropped = self._memos.popitem(last=False)
+                    for frontier in dropped._entries.values():
+                        self._frontier_bytes -= _frontier_nbytes(frontier)
+                        self.evictions += 1
             else:
                 self._memos.move_to_end(key)
             return memo
 
+    # -- persistence -----------------------------------------------------------------
+
+    def snapshot(self) -> Dict:
+        """The cache's frontier memos as a picklable state blob.
+
+        Evaluators are deliberately *not* captured: they rebuild from a
+        preference space in microseconds, and their mask caches are
+        process-local numpy state. What is expensive to recompute — the
+        canonical frontiers per (signature, vector, axis, limit) — is
+        exactly what travels (signatures are process-independent now
+        that :func:`space_signature` keys on the algebra's semantic
+        signature).
+        """
+        with self._lock:
+            return {
+                "kind": "frontier_cache",
+                "capacity": self.capacity,
+                "memos": [
+                    (key, list(memo._entries.items()))
+                    for key, memo in self._memos.items()
+                ],
+            }
+
+    def restore(self, state: Dict, stats_token: Hashable) -> int:
+        """Install a :meth:`snapshot` blob under the live ``stats_token``.
+
+        Entries are re-tagged with the *caller's* token: the caller (see
+        :mod:`repro.storage.snapshot`) is responsible for proving the
+        snapshot was taken against equivalent statistics before handing
+        the live token over. Returns the number of frontiers installed.
+        """
+        if state.get("kind") != "frontier_cache":
+            raise ValueError("not a FrontierCache snapshot: %r" % (state.get("kind"),))
+        self.validate(stats_token)
+        installed = 0
+        for key, entries in state["memos"]:
+            signature, vector, axis = key
+            memo = self.memo_for(signature, tuple(vector), axis)
+            if memo is None:
+                break  # capacity 0: a disabled cache restores nothing
+            for limit, frontier in entries:
+                memo.store(limit, tuple(tuple(s) for s in frontier))
+                installed += 1
+        return installed
+
     # -- introspection -------------------------------------------------------------
 
     def counters(self) -> Dict[str, int]:
-        """Frontier hit/miss/invalidation tallies plus entry counts."""
+        """Frontier hit/miss/invalidation tallies plus entry counts.
+
+        The dict carries the cross-cache telemetry shape every cache in
+        the system shares (``hits/misses/lookups/invalidations/
+        evictions/entries/bytes_estimate``) plus this cache's two
+        resident populations (``evaluators``/``frontiers`` —
+        ``entries`` aliases the latter).
+        """
         with self._lock:
+            frontiers = sum(len(memo) for memo in self._memos.values())
             return {
                 "hits": self.hits,
                 "misses": self.misses,
                 "lookups": self.hits + self.misses,
                 "invalidations": self.invalidations,
+                "evictions": self.evictions,
+                "entries": frontiers,
+                "bytes_estimate": self._frontier_bytes + self._evaluator_bytes,
                 "evaluators": len(self._evaluators),
-                "frontiers": sum(len(memo) for memo in self._memos.values()),
+                "frontiers": frontiers,
             }
+
+
+def _evaluator_nbytes(evaluator: CachedStateEvaluator) -> int:
+    """A coarse estimate of one shared evaluator's pinned parameters.
+
+    Counts the per-preference parameter arrays it was built from; the
+    demand-grown mask caches are excluded (they are unbounded work
+    memos, not snapshot state).
+    """
+    return 256 + 24 * 3 * len(evaluator.doi_values)

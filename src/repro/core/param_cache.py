@@ -55,6 +55,8 @@ class ParameterCache:
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
+        self.evictions = 0
+        self._bytes = 0  # incrementally maintained entry-size estimate
         # Fault seam: when set, called (outside the lock) with the site
         # name at the top of every lookup. The deterministic injector in
         # repro.testing.faults uses it to evict mid-solve; it must only
@@ -88,6 +90,7 @@ class ParameterCache:
                 if self._entries:
                     self.invalidations += 1
                 self._entries.clear()
+                self._bytes = 0
                 self._stats_token = stats_token
             value = self._entries.get(key)
             if value is not None:
@@ -98,9 +101,13 @@ class ParameterCache:
         value = compute()  # outside the lock: pricing may be slow
         with self._lock:
             if stats_token == self._stats_token and self.capacity > 0:
+                if key not in self._entries:
+                    self._bytes += _entry_nbytes(key)
                 self._entries[key] = value
                 if len(self._entries) > self.capacity:
-                    self._entries.popitem(last=False)
+                    evicted_key, _ = self._entries.popitem(last=False)
+                    self._bytes -= _entry_nbytes(evicted_key)
+                    self.evictions += 1
         return value
 
     # -- maintenance ---------------------------------------------------------------
@@ -111,15 +118,68 @@ class ParameterCache:
             if self._entries:
                 self.invalidations += 1
             self._entries.clear()
+            self._bytes = 0
             self._stats_token = None
 
+    # -- persistence -----------------------------------------------------------------
+
+    def snapshot(self) -> Dict:
+        """The priced entries as a picklable state blob (keys are the
+        query-SQL/condition-tuple fingerprints, which pickle by value)."""
+        with self._lock:
+            return {
+                "kind": "param_cache",
+                "capacity": self.capacity,
+                "entries": list(self._entries.items()),
+            }
+
+    def restore(self, state: Dict, stats_token: Hashable) -> int:
+        """Install a :meth:`snapshot` blob under the live ``stats_token``.
+
+        The caller vouches that the snapshot's statistics are equivalent
+        to the live database's (see :mod:`repro.storage.snapshot` for
+        the fingerprint proof); entries are merged into whatever is
+        already cached under that token. Returns entries installed.
+        """
+        if state.get("kind") != "param_cache":
+            raise ValueError("not a ParameterCache snapshot: %r" % (state.get("kind"),))
+        installed = 0
+        with self._lock:
+            if stats_token != self._stats_token:
+                self._entries.clear()
+                self._bytes = 0
+                self._stats_token = stats_token
+            if self.capacity == 0:
+                return 0
+            for key, value in state["entries"]:
+                key = (key[0], tuple(key[1]))
+                if key not in self._entries:
+                    self._bytes += _entry_nbytes(key)
+                    installed += 1
+                self._entries[key] = value
+                if len(self._entries) > self.capacity:
+                    evicted_key, _ = self._entries.popitem(last=False)
+                    self._bytes -= _entry_nbytes(evicted_key)
+                    self.evictions += 1
+        return installed
+
     def counters(self) -> Dict[str, int]:
-        """Hit/miss/invalidation tallies plus the current entry count."""
+        """Hit/miss/invalidation tallies plus the current entry count,
+        in the telemetry shape every cache in the system shares."""
         with self._lock:
             return {
                 "hits": self.hits,
                 "misses": self.misses,
                 "lookups": self.hits + self.misses,
                 "invalidations": self.invalidations,
+                "evictions": self.evictions,
                 "entries": len(self._entries),
+                "bytes_estimate": self._bytes,
             }
+
+
+def _entry_nbytes(key: Tuple[str, Tuple]) -> int:
+    """A coarse per-entry size estimate: the SQL fingerprint string, one
+    condition object per path hop, and the two-float value."""
+    fingerprint, conditions = key
+    return 160 + len(fingerprint) + 96 * len(conditions)

@@ -74,6 +74,12 @@ class ServiceResponse:
     # fallback. Both stay 0 in normal, fault-free operation.
     faults_injected: int = 0
     fallbacks_taken: int = 0
+    # Unified cross-request cache telemetry at the time this response
+    # was produced: one counter block per cache (param_cache /
+    # frontier_cache / frame_cache), each in the shared
+    # hits/misses/lookups/invalidations/evictions/entries/bytes_estimate
+    # shape. Batch members share one (read-only) dict.
+    cache_telemetry: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     @property
     def personalized(self) -> bool:
@@ -124,6 +130,7 @@ class PersonalizationService:
         solve_retries: int = 1,
         backend: str = "auto",
         structural_batching: bool = True,
+        snapshot=None,
     ) -> None:
         """``relearn_every``: after that many requests a user's profile is
         re-blended with one learned from their query log (0 = never).
@@ -152,7 +159,19 @@ class PersonalizationService:
         request groups into one :meth:`Personalizer.personalize_many`
         call each, so extraction runs once per cluster and the solves
         share the stacked frontier kernel; responses stay bit-identical
-        to the group-at-a-time path."""
+        to the group-at-a-time path.
+
+        ``snapshot`` boots the service warm from a compiled workload: a
+        :class:`~repro.storage.snapshot.CompiledWorkload` or the path
+        of a saved snapshot directory. The snapshot's pricing entries
+        and frontiers are installed into this service's caches and its
+        frames into a service-lifetime frame cache — after proving (by
+        content fingerprint and statistics version) that it was
+        compiled against this very database;
+        :class:`~repro.storage.snapshot.SnapshotMismatch` is raised
+        otherwise, never a silent cold start. Caches memoize pure
+        functions, so a warm boot changes no response payload — only
+        how fast the first requests are answered."""
         if relearn_every < 0:
             raise ValueError("relearn_every must be >= 0")
         if parallelism < 1:
@@ -178,9 +197,48 @@ class PersonalizationService:
         )
         self.learning_weight = learning_weight
         self._users: Dict[str, _UserState] = {}
+        # A service-lifetime frame cache exists only on warm boots: the
+        # cold service keeps its historical batch-/statement-scoped
+        # frame reuse, so snapshot=None changes nothing.
+        self.frame_cache = None
+        self.snapshot_installed: Dict[str, int] = {}
+        if snapshot is not None:
+            from repro.storage.snapshot import CompiledWorkload, load_snapshot
+
+            if not isinstance(snapshot, CompiledWorkload):
+                snapshot = load_snapshot(snapshot)
+            # The Personalizer constructor above has already ensured the
+            # database is analyzed, so the statistics version the
+            # snapshot is validated against is the serving one.
+            # Size every cache to hold the whole snapshot: restoring
+            # into a cache smaller than the compiled set would evict
+            # entries during boot and silently serve a half-warm
+            # service. Capacities only ever grow; a deliberately
+            # disabled cache (capacity 0) stays disabled.
+            param = self.personalizer.param_cache
+            if param is not None and param.capacity > 0:
+                param.capacity = max(
+                    param.capacity, 2 * len(snapshot.param_state.get("entries", ()))
+                )
+            frontier = self.personalizer.frontier_cache
+            if frontier is not None and frontier.capacity > 0:
+                frontier.capacity = max(
+                    frontier.capacity,
+                    2 * len(snapshot.frontier_state.get("memos", ())),
+                )
+            frame_entries = len(snapshot.frame_state.get("entries", ()))
+            self.frame_cache = FrameCache(capacity=max(512, 2 * frame_entries))
+            self.snapshot_installed = snapshot.restore_into(
+                database,
+                param_cache=self.personalizer.param_cache,
+                frontier_cache=self.personalizer.frontier_cache,
+                frame_cache=self.frame_cache,
+            )
         if fault_injector is not None:
             fault_injector.arm_cache(self.personalizer.param_cache)
             fault_injector.arm_cache(self.personalizer.frontier_cache)
+            if self.frame_cache is not None:
+                fault_injector.arm_cache(self.frame_cache)
 
     @property
     def param_cache(self) -> ParameterCache:
@@ -196,6 +254,26 @@ class PersonalizationService:
         """Explicit invalidation hook for out-of-band database mutation
         (ordinary ``load``/``analyze`` calls are version-detected)."""
         self.personalizer.invalidate_caches()
+        if self.frame_cache is not None:
+            self.frame_cache.invalidate()
+
+    def cache_telemetry(self, frame_cache=None) -> Dict[str, Dict[str, int]]:
+        """One unified counter block per cache this service runs on.
+
+        Every block has the shared shape
+        (``hits/misses/lookups/invalidations/evictions/entries/
+        bytes_estimate``); the frontier block adds its two resident
+        populations. ``frame_cache`` lets the batch path report the
+        cache it actually executed against.
+        """
+        telemetry = {
+            "param_cache": self.param_cache.counters(),
+            "frontier_cache": self.frontier_cache.counters(),
+        }
+        frames = frame_cache if frame_cache is not None else self.frame_cache
+        if frames is not None:
+            telemetry["frame_cache"] = frames.counters()
+        return telemetry
 
     # -- user management ----------------------------------------------------------
 
@@ -260,17 +338,21 @@ class PersonalizationService:
             query, state.profile, problem, algorithm=algorithm, k_limit=k_limit
         )
         if not execute:
-            return ServiceResponse(
+            response = ServiceResponse(
                 user=user, outcome=outcome, rows=(), elapsed_ms=0.0,
                 faults_injected=self._faults_so_far() - faults_before,
                 **self._search_counters(outcome),
             )
-        result = self.personalizer.execute(outcome)
+            response.cache_telemetry = self.cache_telemetry()
+            return response
+        result = self.personalizer.execute(outcome, frame_cache=self.frame_cache)
         self._fold_exec_stats(outcome, result)
-        return self._response(
+        response = self._response(
             user, outcome, result,
             faults_injected=self._faults_so_far() - faults_before,
         )
+        response.cache_telemetry = self.cache_telemetry()
+        return response
 
     def _faults_so_far(self) -> int:
         """The wired injector's running fault tally (0 when none)."""
@@ -462,9 +544,17 @@ class PersonalizationService:
             for index, outcome in zip(group_indices, outcome_list):
                 outcomes[index] = outcome
 
-        batch_frames = FrameCache() if execute else None
-        if batch_frames is not None and self.fault_injector is not None:
-            self.fault_injector.arm_cache(batch_frames)
+        # Warm-booted services execute against their service-lifetime
+        # frame cache (already armed at construction); cold services
+        # keep the historical batch-scoped cache.
+        if not execute:
+            batch_frames = None
+        elif self.frame_cache is not None:
+            batch_frames = self.frame_cache
+        else:
+            batch_frames = FrameCache()
+            if self.fault_injector is not None:
+                self.fault_injector.arm_cache(batch_frames)
         responses: List[Optional[ServiceResponse]] = [None] * len(specs)
         for members, outcome in zip(member_lists, outcomes):
             user = specs[members[0]][0]
@@ -496,6 +586,11 @@ class PersonalizationService:
                     faults_injected=faults,
                     fallbacks_taken=scheduler.fallbacks_taken,
                 )
+        # One telemetry block per batch, shared read-only by every
+        # member (counters are batch-level state anyway).
+        telemetry = self.cache_telemetry(frame_cache=batch_frames)
+        for response in responses:
+            response.cache_telemetry = telemetry
         return responses  # type: ignore[return-value]
 
     # -- learning -----------------------------------------------------------------

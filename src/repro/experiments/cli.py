@@ -5,6 +5,12 @@ Usage::
     python -m repro.experiments --figure 12a            # quick config
     python -m repro.experiments --figure 12c --full     # the paper's 20x10
     python -m repro.experiments --all --quick
+
+The ``workload`` subcommand compiles, inspects, and replays persistent
+workload snapshots (see :mod:`repro.experiments.workload_cli`)::
+
+    python -m repro.experiments workload compile --out /tmp/wl --quick
+    python -m repro.experiments workload serve-replay /tmp/wl --verify
 """
 
 from __future__ import annotations
@@ -49,6 +55,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "workload":
+        from repro.experiments.workload_cli import workload_main
+
+        return workload_main(argv[1:])
     args = build_parser().parse_args(argv)
     config = (
         ExperimentConfig.full(seed=args.seed)

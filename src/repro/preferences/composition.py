@@ -17,10 +17,35 @@ axioms above.
 from __future__ import annotations
 
 import math
+import sys
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Callable, Sequence, Tuple
 
 from repro.errors import PreferenceError
+
+
+def _callable_identity(fn: Callable) -> Tuple:
+    """A process-independent identity for a composition operator.
+
+    Module-level functions (every algebra the library ships) identify as
+    ``(module, qualname)`` — stable across processes, so cache keys and
+    persisted snapshots built on them survive a restart. Callables that
+    do not round-trip through their module (lambdas, closures, bound
+    partials) keep an ``id()`` component: they cannot be re-resolved in
+    another process anyway, and two distinct ad-hoc callables must never
+    alias one identity.
+    """
+    module = getattr(fn, "__module__", None)
+    qualname = getattr(fn, "__qualname__", None)
+    if module is not None and qualname is not None and "<" not in qualname:
+        resolved = sys.modules.get(module)
+        for part in qualname.split("."):
+            resolved = getattr(resolved, part, None)
+            if resolved is None:
+                break
+        if resolved is fn:
+            return (module, qualname)
+    return (module, qualname, id(fn))
 
 
 def _validate_dois(dois: Sequence[float]) -> None:
@@ -79,6 +104,24 @@ class DoiAlgebra:
 
     def conjunction_doi(self, dois: Sequence[float]) -> float:
         return self.conjunction(dois)
+
+    @property
+    def signature(self) -> Tuple:
+        """Hashable identity of this algebra's *semantics*.
+
+        Two algebras with equal signatures compose dois identically, so
+        anything keyed on a preference space — evaluator caches,
+        frontier memos, persisted workload snapshots — may unify them.
+        Unlike ``id(self)`` the signature is stable across processes for
+        the module-level operator functions, which is what makes
+        frontier snapshots restorable (see
+        :mod:`repro.storage.snapshot`).
+        """
+        return (
+            self.name,
+            _callable_identity(self.path),
+            _callable_identity(self.conjunction),
+        )
 
 
 PRODUCT_ALGEBRA = DoiAlgebra(

@@ -208,6 +208,9 @@ class FrameCache:
         self._token: Optional[Tuple[int, int]] = None
         self.hits = 0
         self.misses = 0
+        self.invalidations = 0
+        self.evictions = 0
+        self._bytes = 0  # incrementally maintained frame-size estimate
         # Fault seam: when set, called with the site name at the top of
         # every lookup (see repro.testing.faults) — an eviction there
         # must leave the engine on the recompute path, never corrupt it.
@@ -219,7 +222,10 @@ class FrameCache:
     def validate(self, token: Tuple[int, int]) -> None:
         """Flush all entries if the database snapshot changed."""
         if self._token != token:
+            if self._entries:
+                self.invalidations += 1
             self._entries.clear()
+            self._bytes = 0
             self._token = token
 
     def get(self, key: Tuple) -> Optional[Tuple[ColumnFrame, _Tally]]:
@@ -236,23 +242,131 @@ class FrameCache:
     def put(self, key: Tuple, frame: ColumnFrame, tally: _Tally) -> None:
         if self.capacity == 0:
             return
+        if key not in self._entries:
+            self._bytes += _frame_nbytes(frame)
         self._entries[key] = (frame, tally)
         self._entries.move_to_end(key)
         while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+            _, (evicted, _) = self._entries.popitem(last=False)
+            self._bytes -= _frame_nbytes(evicted)
+            self.evictions += 1
 
     def invalidate(self) -> None:
         """Explicitly drop every entry (eviction drills, out-of-band
         data mutation); the next lookups recompute from the tables."""
+        if self._entries:
+            self.invalidations += 1
         self._entries.clear()
+        self._bytes = 0
+
+    # -- persistence -----------------------------------------------------------------
+
+    def snapshot(self) -> Dict:
+        """The cached frames as a state blob for on-disk persistence.
+
+        Frame columns are coerced to the fixed dtypes
+        :mod:`repro.storage.shm` shares across processes (int64 /
+        float64 / bool / fixed-width unicode); a frame with any column
+        that cannot be represented that way is skipped — recomputed on
+        first use after a restore, bit-identical just colder. Column
+        arrays are deduplicated by object identity (filters share their
+        parent's data), so a shared base column is captured once. The
+        returned blob's ``columns`` map holds numpy arrays; the disk
+        writer (:mod:`repro.storage.snapshot`) spills them to files that
+        restore as zero-copy read-only memmap views.
+        """
+        from repro.storage.shm import _as_shared_array
+
+        columns: Dict[int, object] = {}
+        entries = []
+        for key, (frame, tally) in self._entries.items():
+            refs: List[int] = []
+            shareable = True
+            for column in frame.data:
+                ref = id(column)
+                if ref not in columns:
+                    array = _as_shared_array(column)
+                    if array is None:
+                        shareable = False
+                        break
+                    columns[ref] = array
+                refs.append(ref)
+            if not shareable:
+                continue
+            sel = None if frame.sel is None else list(frame.sel)
+            entries.append(
+                (
+                    key,
+                    (frame.columns, tuple(refs), sel),
+                    (list(tally.scans), tally.probe_blocks, tally.probe_rows, tally.work_rows),
+                )
+            )
+        used = {ref for _, (_, refs, _), _ in entries for ref in refs}
+        return {
+            "kind": "frame_cache",
+            "capacity": self.capacity,
+            "entries": entries,
+            "columns": {ref: columns[ref] for ref in used},
+        }
+
+    def restore(
+        self,
+        state: Dict,
+        token: Tuple,
+        columns: Optional[Dict[int, object]] = None,
+    ) -> int:
+        """Install a :meth:`snapshot` blob under the live ``token``.
+
+        ``columns`` optionally overrides the blob's column arrays with
+        externally attached ones (the zero-copy memmap views of
+        :mod:`repro.storage.snapshot`); numpy scalars read from them
+        compare and hash exactly like the Python values they hold, so
+        restored frames produce identical rows. Returns frames
+        installed.
+        """
+        if state.get("kind") != "frame_cache":
+            raise ValueError("not a FrameCache snapshot: %r" % (state.get("kind"),))
+        source = columns if columns is not None else state["columns"]
+        self.validate(token)
+        installed = 0
+        for key, (names, refs, sel), tally_state in state["entries"]:
+            frame = ColumnFrame(
+                columns=names,
+                data=[source[ref] for ref in refs],
+                sel=None if sel is None else list(sel),
+            )
+            scans, probe_blocks, probe_rows, work_rows = tally_state
+            tally = _Tally(
+                scans=[tuple(scan) for scan in scans],
+                probe_blocks=probe_blocks,
+                probe_rows=probe_rows,
+                work_rows=work_rows,
+            )
+            self.put(key, frame, tally)
+            installed += 1
+        return installed
 
     def counters(self) -> Dict[str, int]:
         return {
             "hits": self.hits,
             "misses": self.misses,
             "lookups": self.hits + self.misses,
+            "invalidations": self.invalidations,
+            "evictions": self.evictions,
             "entries": len(self._entries),
+            "bytes_estimate": self._bytes,
         }
+
+
+def _frame_nbytes(frame: ColumnFrame) -> int:
+    """A coarse resident-size estimate of one cached frame.
+
+    One machine word per cell plus the selection vector; columns shared
+    with other frames are counted once per frame (an over-estimate, by
+    design — the figure bounds what eviction can free, not RSS)."""
+    cells = sum(len(column) for column in frame.data)
+    sel = 0 if frame.sel is None else len(frame.sel)
+    return 128 + 8 * (cells + sel)
 
 
 class ColumnarExecutor:

@@ -139,6 +139,42 @@ class Database:
         """
         return (id(self), self._stats_version)
 
+    @property
+    def fingerprint(self) -> str:
+        """A process-independent content digest of the database.
+
+        Hashes the schema (relations, attributes, foreign keys), every
+        table's rows in insertion order, the built indexes, and the
+        block size — everything the cost model, cardinality estimator,
+        and executor read. Two databases with equal fingerprints answer
+        every pricing and execution question identically, which is what
+        makes a persisted workload snapshot (see
+        :mod:`repro.storage.snapshot`) safe to restore into a different
+        process. Memoized per ``stats_version``; a re-ANALYZE over
+        unchanged data keeps the fingerprint but bumps the version, so
+        snapshot restores key on *both* and refuse stale statistics.
+        """
+        memo = getattr(self, "_fingerprint_memo", None)
+        if memo is not None and memo[0] == self._stats_version:
+            return memo[1]
+        import hashlib
+
+        digest = hashlib.sha256()
+        digest.update(repr(self.block_size).encode("utf-8"))
+        for name in sorted(self.tables):
+            relation = self.schema.relation(name)
+            digest.update(("\x00rel:%s" % name).encode("utf-8"))
+            digest.update(repr(relation).encode("utf-8"))
+            for row in self.tables[name]:
+                digest.update(repr(tuple(row)).encode("utf-8"))
+        for fk in self.schema.foreign_keys:
+            digest.update(("\x00fk:%s" % fk.as_condition()).encode("utf-8"))
+        for key in sorted(self._indexes):
+            digest.update(("\x00idx:%s.%s" % key).encode("utf-8"))
+        value = digest.hexdigest()
+        self._fingerprint_memo = (self._stats_version, value)
+        return value
+
     # -- indexes ---------------------------------------------------------------
 
     def create_index(self, relation_name: str, attribute: str) -> HashIndex:

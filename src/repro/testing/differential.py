@@ -73,7 +73,12 @@ class LatticePoint:
     on; ``batched`` routes the point's problems through the structural
     batching path (:func:`repro.core.adapters.solve_many`, or
     :class:`~repro.core.algorithms.scheduler.SolvePlan` dispatch under
-    the process backend) instead of one solve per problem.
+    the process backend) instead of one solve per problem. ``snapshot``
+    (service lattice only) boots the point's service warm from a
+    workload snapshot compiled on the spot
+    (:func:`repro.workloads.compiler.compile_workload`) — restored
+    pricing, frontiers and frames must leave every response
+    bit-identical to the cold services.
     """
 
     algorithm: str
@@ -82,15 +87,21 @@ class LatticePoint:
     parallelism: int = 1
     backend: str = "thread"
     batched: bool = False
+    snapshot: str = "off"
 
     def __str__(self) -> str:
-        return "%s/engine=%s/cache=%s/parallelism=%d/backend=%s/batched=%s" % (
-            self.algorithm,
-            self.engine,
-            self.cache,
-            self.parallelism,
-            self.backend,
-            self.batched,
+        return (
+            "%s/engine=%s/cache=%s/parallelism=%d/backend=%s/batched=%s"
+            "/snapshot=%s"
+            % (
+                self.algorithm,
+                self.engine,
+                self.cache,
+                self.parallelism,
+                self.backend,
+                self.batched,
+                self.snapshot,
+            )
         )
 
 
@@ -434,7 +445,8 @@ def _algorithm_for(problem: CQPProblem, requested: str) -> str:
 def service_lattice() -> List[LatticePoint]:
     """Every (algorithm, engine, cache, parallelism) point of the
     end-to-end lattice, plus the backend × batched cross on the
-    columnar engine."""
+    columnar engine, plus the snapshot={off,restored} axis: one
+    serial and one batched-parallel warm-boot point per algorithm."""
     points = []
     for algorithm in DOI_ALGORITHMS:
         for engine in ENGINES:
@@ -460,6 +472,18 @@ def service_lattice() -> List[LatticePoint]:
                         batched=batched,
                     )
                 )
+        points.append(
+            LatticePoint(algorithm=algorithm, cache="on", snapshot="restored")
+        )
+        points.append(
+            LatticePoint(
+                algorithm=algorithm,
+                cache="on",
+                parallelism=4,
+                batched=True,
+                snapshot="restored",
+            )
+        )
     return points
 
 
@@ -504,6 +528,24 @@ def run_service_lattice(
 
     references: Dict[Tuple[str, int], Tuple[Receipt, Tuple]] = {}
     for point in lattice:
+        snapshot = None
+        if point.snapshot == "restored":
+            # Compile this scenario's workload on the spot: the point's
+            # service must answer every request out of *restored* state
+            # yet stay bit-identical to the cold points.
+            from repro.workloads.compiler import compile_workload
+
+            snapshot = compile_workload(
+                database,
+                [profile],
+                [query],
+                [problems[number] for number in numbers],
+                algorithms=[
+                    _algorithm_for(problems[number], point.algorithm)
+                    for number in numbers
+                ],
+                k_limit=k_limit,
+            )
         service = PersonalizationService(
             database,
             engine=point.engine,
@@ -512,6 +554,7 @@ def run_service_lattice(
             parallelism=point.parallelism,
             backend=point.backend,
             structural_batching=point.batched,
+            snapshot=snapshot,
         )
         service.register("lattice-user", profile)
         batch = [

@@ -2,9 +2,33 @@
 
 Each experiment averages 200 runs — 20 profiles × 10 queries — with
 broad doi ranges and deviations (the setting of [12] the paper adopts).
+:mod:`repro.workloads.compiler` scales the setting up: fleet-sized
+profile populations are interned and precomputed offline into a
+restorable snapshot.
 """
 
-from repro.workloads.profiles import ProfileConfig, generate_profile, generate_profiles
+from repro.workloads.compiler import compile_workload, problem_from_spec, problem_to_spec
+from repro.workloads.profiles import (
+    ProfileConfig,
+    clone_profile,
+    fleet_archetypes,
+    fleet_member,
+    generate_fleet,
+    generate_profile,
+    generate_profiles,
+)
 from repro.workloads.queries import generate_queries
 
-__all__ = ["generate_profile", "generate_profiles", "generate_queries", "ProfileConfig"]
+__all__ = [
+    "ProfileConfig",
+    "clone_profile",
+    "compile_workload",
+    "fleet_archetypes",
+    "fleet_member",
+    "generate_fleet",
+    "generate_profile",
+    "generate_profiles",
+    "generate_queries",
+    "problem_from_spec",
+    "problem_to_spec",
+]

@@ -18,7 +18,7 @@ from repro.preferences.model import SelectionCondition, AtomicPreference
 from repro.preferences.profile import UserProfile
 from repro.sql.ast_nodes import Operator
 from repro.storage.database import Database
-from repro.utils.rng import SeededRNG
+from repro.utils.rng import SeededRNG, derive_seed
 
 # dois are kept off the extremes: 0 would mean "no interest stored" and
 # values are clamped into [DOI_FLOOR, 1].
@@ -138,10 +138,100 @@ def generate_profiles(
     count: int = 20,
     seed: int = 0,
     config: ProfileConfig = ProfileConfig(),
+    start: int = 0,
 ) -> List[UserProfile]:
-    """The paper's population of 20 profiles (seeded, distinct)."""
+    """The paper's population of 20 profiles (seeded, distinct).
+
+    Profile ``index`` draws from the child seed ``(seed, "profile",
+    index)``, so the population is a pure function of ``(seed, index)``
+    — generating 100k profiles in one call, in chunks, or resuming at
+    ``start`` yields the same profiles in the same positions. (The old
+    scheme, ``seed * 10_000 + index``, collided across base seeds and
+    tied a profile's content to the size of the batch that produced
+    it.)
+    """
     return [
-        generate_profile(database, seed=seed * 10_000 + index, config=config,
-                         name="profile-%02d" % index)
-        for index in range(count)
+        generate_profile(
+            database,
+            seed=derive_seed(seed, "profile", index),
+            config=config,
+            name="profile-%02d" % index,
+        )
+        for index in range(start, start + count)
     ]
+
+
+def clone_profile(profile: UserProfile, name: str) -> UserProfile:
+    """A content-equal but object-distinct copy of ``profile``.
+
+    The clone preserves preference insertion order (which the Preference
+    Space extraction walks), so its
+    :func:`~repro.core.interning.profile_fingerprint` equals the
+    original's — exactly the situation profile interning collapses.
+    """
+    return UserProfile(
+        name,
+        (
+            AtomicPreference(condition=pref.condition, doi=pref.doi)
+            for pref in profile
+        ),
+    )
+
+
+def fleet_archetypes(
+    database: Database,
+    archetypes: int,
+    seed: int = 0,
+    config: ProfileConfig = ProfileConfig(),
+) -> List[UserProfile]:
+    """The distinct profile contents a synthetic fleet draws from."""
+    return [
+        generate_profile(
+            database,
+            seed=derive_seed(seed, "archetype", index),
+            config=config,
+            name="archetype-%03d" % index,
+        )
+        for index in range(max(1, archetypes))
+    ]
+
+
+def fleet_member(
+    base: List[UserProfile], seed: int, index: int
+) -> UserProfile:
+    """User ``index``'s profile: a content-equal copy of the archetype
+    the child seed ``(seed, "fleet", index)`` assigns. A pure function
+    of ``(seed, index)`` given the archetype list, so any consumer —
+    whole-fleet generation, chunked generation, or a replay
+    reconstructing one sampled user — sees the same profile."""
+    return clone_profile(
+        base[derive_seed(seed, "fleet", index) % len(base)],
+        name="user-%06d" % index,
+    )
+
+
+def generate_fleet(
+    database: Database,
+    users: int,
+    archetypes: int = 64,
+    seed: int = 0,
+    config: ProfileConfig = ProfileConfig(),
+) -> List[UserProfile]:
+    """A fleet of ``users`` profiles drawn from ``archetypes`` contents.
+
+    Real fleets are not ``users`` independent random profiles: profiles
+    come from defaults, templates, and learned-from-similar-behavior
+    populations, so content repeats massively. This generator models
+    that: ``archetypes`` distinct profiles are generated
+    (:func:`fleet_archetypes`), and each user receives a *copy*
+    (content-equal, object-distinct — the interner's job is to notice)
+    of the archetype :func:`fleet_member` assigns. The assignment is a
+    pure function of ``(seed, index)``: chunked generation reproduces
+    the same fleet.
+    """
+    if users <= 0:
+        return []
+    base = fleet_archetypes(
+        database, min(archetypes, users), seed=seed, config=config
+    )
+    return [fleet_member(base, seed, index) for index in range(users)]

@@ -1,0 +1,124 @@
+"""Profile interning: fingerprints, telemetry, and the bit-identity
+property — solving through a canonical representative must be
+indistinguishable from solving through the original profile, on every
+Table 1 problem."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.interning import ProfileInterner, profile_fingerprint
+from repro.core.personalizer import Personalizer
+from repro.core.problem import CQPProblem
+from repro.testing.differential import Receipt, table1_problems
+from repro.workloads.profiles import clone_profile, generate_profile
+
+
+class TestFingerprint:
+    def test_clone_has_equal_fingerprint_distinct_identity(self, movie_db):
+        profile = generate_profile(movie_db, seed=11)
+        copy = clone_profile(profile, "copy")
+        assert copy is not profile
+        assert profile_fingerprint(copy) == profile_fingerprint(profile)
+
+    def test_fingerprint_is_order_sensitive(self):
+        from repro.preferences.profile import UserProfile
+
+        a = UserProfile("a")
+        a.add_selection("MOVIE", "year", 1990, doi=0.5)
+        a.add_selection("MOVIE", "year", 1991, doi=0.6)
+        b = UserProfile("b")
+        b.add_selection("MOVIE", "year", 1991, doi=0.6)
+        b.add_selection("MOVIE", "year", 1990, doi=0.5)
+        # Same content set, different insertion order: extraction walks
+        # insertion order, so these must NOT be unified.
+        assert profile_fingerprint(a) != profile_fingerprint(b)
+
+    def test_distinct_contents_do_not_unify(self, movie_db):
+        a = generate_profile(movie_db, seed=1)
+        b = generate_profile(movie_db, seed=2)
+        assert profile_fingerprint(a) != profile_fingerprint(b)
+
+
+class TestInterner:
+    def test_interning_collapses_clones(self, movie_db):
+        interner = ProfileInterner()
+        original = generate_profile(movie_db, seed=7)
+        assert interner.intern(original) is original
+        for i in range(4):
+            assert interner.intern(clone_profile(original, "c%d" % i)) is original
+        assert len(interner) == 1
+        assert interner.fleet_size == 5
+        assert interner.compression == 5.0
+
+    def test_counters_share_the_telemetry_shape(self, movie_db):
+        interner = ProfileInterner()
+        profile = generate_profile(movie_db, seed=7)
+        interner.intern(profile)
+        interner.intern(clone_profile(profile, "c"))
+        counters = interner.counters()
+        assert set(counters) == {
+            "hits", "misses", "lookups", "invalidations", "evictions",
+            "entries", "bytes_estimate",
+        }
+        assert counters["hits"] == 1
+        assert counters["misses"] == 1
+        assert counters["lookups"] == 2
+        assert counters["bytes_estimate"] > 0
+
+    def test_report_tracks_savings(self, movie_db):
+        interner = ProfileInterner()
+        profile = generate_profile(movie_db, seed=7)
+        for i in range(3):
+            interner.intern(clone_profile(profile, "c%d" % i))
+        report = interner.report()
+        assert report["fleet_size"] == 3
+        assert report["canonical_profiles"] == 1
+        assert report["largest_population"] == 3
+        assert report["bytes_saved_estimate"] > 0
+        assert report["hit_rate"] == pytest.approx(2.0 / 3.0)
+
+
+class TestInternedSolveBitIdentity:
+    """The property interning rests on: equal fingerprint ⇒ bit-identical
+    pipeline results, across all six Table 1 problems."""
+
+    @settings(max_examples=10)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_canonical_solve_equals_direct_solve(self, movie_db, seed):
+        from repro.sql.parser import parse_select
+
+        movie_query = parse_select("select title from MOVIE")
+        original = generate_profile(movie_db, seed=seed)
+        copy = clone_profile(original, "fleet-copy")
+        interner = ProfileInterner()
+        interner.intern(original)
+        canonical = interner.intern(copy)
+        assert canonical is original
+
+        probe = Personalizer(movie_db).personalize(
+            movie_query,
+            original,
+            CQPProblem.problem2(cmax=float("inf")),
+            algorithm="c_maxbounds",
+            k_limit=6,
+        )
+        problems = table1_problems(probe.preference_space)
+        # Independent personalizers: nothing shared between the two
+        # solves except the database, so agreement is a property of the
+        # profiles, not of cache aliasing.
+        direct = Personalizer(movie_db)
+        interned = Personalizer(movie_db)
+        for number in sorted(problems):
+            outcome_direct = direct.personalize(
+                movie_query, copy, problems[number], k_limit=6
+            )
+            outcome_interned = interned.personalize(
+                movie_query, canonical, problems[number], k_limit=6
+            )
+            assert Receipt.of(outcome_interned.solution) == Receipt.of(
+                outcome_direct.solution
+            ), "problem %d diverged for seed %d" % (number, seed)
+            assert outcome_interned.sql == outcome_direct.sql

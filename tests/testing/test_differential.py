@@ -46,8 +46,19 @@ class TestLatticeShape:
     def test_service_lattice_adds_the_engine_axis(self):
         points = service_lattice()
         assert {p.engine for p in points} == {"row", "columnar"}
-        # The classic cross plus the backend × batched cross per algorithm.
-        assert len(points) == 3 * 2 * 3 * 2 + 3 * 3 * 2
+        # The classic cross plus the backend × batched cross plus the
+        # two snapshot="restored" points, per algorithm.
+        assert len(points) == 3 * 2 * 3 * 2 + 3 * 3 * 2 + 3 * 2
+
+    def test_service_lattice_spans_the_snapshot_axis(self):
+        points = service_lattice()
+        assert {p.snapshot for p in points} == {"off", "restored"}
+        restored = [p for p in points if p.snapshot == "restored"]
+        # Both a serial and a batched-parallel warm boot per algorithm.
+        assert {(p.parallelism, p.batched) for p in restored} == {
+            (1, False),
+            (4, True),
+        }
 
     def test_solver_lattice_spans_backends_and_batching(self):
         points = solver_lattice()
@@ -58,7 +69,7 @@ class TestLatticeShape:
         point = LatticePoint("c_boundaries", cache="warm", parallelism=4)
         assert str(point) == (
             "c_boundaries/engine=columnar/cache=warm/parallelism=4"
-            "/backend=thread/batched=False"
+            "/backend=thread/batched=False/snapshot=off"
         )
 
 
@@ -83,6 +94,65 @@ class TestServiceLattice:
         report = run_service_lattice(movie_db, movie_profile, movie_query, seed=1234)
         assert report.problems_covered == {1, 2, 3, 4, 5, 6}
         assert report.receipt_checks > 0
+
+    def test_restored_snapshot_survives_fault_drills(
+        self, movie_db, movie_profile, movie_query
+    ):
+        # Cache-eviction faults fired into a snapshot-warmed service
+        # must only make it colder, never change a response: restored
+        # entries are ordinary cache entries, so the drills that hold
+        # for organically warmed caches must hold for restored ones.
+        from repro.core.personalizer import Personalizer
+        from repro.core.service import BatchRequest, PersonalizationService
+        from repro.testing.faults import FaultInjector, FaultPlan
+        from repro.workloads.compiler import compile_workload
+
+        probe = Personalizer(movie_db).personalize(
+            movie_query,
+            movie_profile,
+            CQPProblem.problem2(cmax=float("inf")),
+            algorithm="c_maxbounds",
+            k_limit=7,
+        )
+        problems = table1_problems(probe.preference_space)
+        numbers = sorted(problems)
+        algorithms = {
+            n: ("min_cost" if problems[n].objective.name != "DOI" else "c_boundaries")
+            for n in numbers
+        }
+        compiled = compile_workload(
+            movie_db,
+            [movie_profile],
+            [movie_query],
+            [problems[n] for n in numbers],
+            algorithms=[algorithms[n] for n in numbers],
+            k_limit=7,
+        )
+        clean = PersonalizationService(movie_db)
+        clean.register("drill-user", movie_profile)
+        batch = [
+            BatchRequest(
+                user="drill-user",
+                query=movie_query,
+                problem=problems[n],
+                algorithm=algorithms[n],
+                k_limit=7,
+            )
+            for n in numbers
+        ]
+        reference = [
+            (Receipt.of(r.outcome.solution), r.rows)
+            for r in clean.request_many(batch)
+        ]
+        for seed in range(3):
+            injector = FaultInjector(FaultPlan.seeded(seed))
+            drilled = PersonalizationService(
+                movie_db, snapshot=compiled, fault_injector=injector
+            )
+            drilled.register("drill-user", movie_profile)
+            responses = drilled.request_many(batch)
+            got = [(Receipt.of(r.outcome.solution), r.rows) for r in responses]
+            assert got == reference, "fault seed %d diverged" % seed
 
     def test_tourism_workload_end_to_end(self):
         from repro.datasets.tourism import al_profile, build_tourism_database
