@@ -154,7 +154,11 @@ def run_exec_heavy(database, profiles, queries) -> Dict:
     row_engine = Executor(database, engine="row")
     row_s = timed(lambda: [row_engine.execute(t) for t in targets])
 
-    cold_engine = ColumnarExecutor(database, frame_reuse=False)
+    # The cold engine doubles as the per-operator profile: exclusive
+    # wall-clock per operator kind, accumulated across the whole set,
+    # so a regression in any one kernel is attributable from the
+    # trajectory file alone.
+    cold_engine = ColumnarExecutor(database, frame_reuse=False, profile_ops=True)
     cold_s = timed(lambda: [cold_engine.execute(t) for t in targets])
 
     shared_engine = ColumnarExecutor(database)
@@ -169,6 +173,12 @@ def run_exec_heavy(database, profiles, queries) -> Dict:
         "columnar_cold_s": round(cold_s, 4),
         "columnar_shared_s": round(shared_s, 4),
         "frame_cache": shared_frames.counters(),
+        "op_breakdown_cold_s": {
+            op: round(seconds, 4)
+            for op, seconds in sorted(
+                cold_engine.op_times.items(), key=lambda kv: -kv[1]
+            )
+        },
         "speedup_columnar_cold_vs_row": round(row_s / cold_s, 2),
         "speedup_columnar_shared_vs_row": round(row_s / shared_s, 2),
     }
@@ -226,7 +236,17 @@ def main() -> int:
         )
         with export_columns(database) as export:
             shared_tables = attach_columns(database, export.handle)
+            # Same protocol as batched_warm: one warm-up pass primes the
+            # shared caches, the second pass is what gets reported —
+            # comparing a cold multicore run against a warm single-core
+            # one would conflate pool overhead with cache state.
+            run_batched(multicore_service, stream)
             results["batched_multicore"] = run_batched(multicore_service, stream)
+        results["batched_multicore"]["vs_warm"] = round(
+            results["batched_multicore"]["req_per_s"]
+            / results["batched_warm"]["req_per_s"],
+            3,
+        )
         print("batched_multicore:   %s (shm tables: %s)"
               % (results["batched_multicore"], ",".join(shared_tables) or "none"))
 
@@ -278,6 +298,9 @@ def main() -> int:
         "param_cache": cache,
         "exec_heavy": exec_heavy,
         "speedup_batched_warm_vs_seed": round(speedup, 2),
+        "batched_multicore_vs_warm": results.get("batched_multicore", {}).get(
+            "vs_warm"
+        ),
     }
     if not args.no_write:
         trajectory = []

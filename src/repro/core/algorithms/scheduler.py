@@ -89,7 +89,7 @@ _PENDING = object()
 # workers, so closures and unpicklable items reach the children by
 # inheritance instead of pickling; cleared as the pool drains. Only the
 # *results* cross the pipe back.
-_FORK_TASK: Optional[Tuple[Callable, Sequence, object]] = None
+_FORK_TASK: Optional[Tuple[Callable, Sequence, object, Optional[Callable]]] = None
 
 # Per-worker state for the plan pool: (FrontierCache, FaultInjector or
 # None). Built by the pool initializer in each forked worker, reused
@@ -181,10 +181,14 @@ def _fork_map_worker(index: int):
     fork-inherited injector copy fired *inside* this task (cache hooks
     and the like); the parent folds it into ``remote_faults``.
     """
-    fn, items, injector = _FORK_TASK
+    fn, items, injector, encode = _FORK_TASK
     before = injector.faults_injected if injector is not None else 0
     try:
         result = fn(items[index])
+        if encode is not None:
+            # Shrink the envelope before it hits the pickle pipe: the
+            # parent's decode rebuilds the full result from this.
+            result = encode(result)
     except TransientFault as fault:
         return ("fault", str(fault), _fault_delta(injector, before))
     return ("ok", result, _fault_delta(injector, before))
@@ -329,7 +333,9 @@ class SolveScheduler:
             return True
         return False
 
-    def _drive_rounds(self, count: int, results: List, submit) -> None:
+    def _drive_rounds(
+        self, count: int, results: List, submit, decode=None
+    ) -> None:
         """Retry rounds for a process pool, faults pulsed parent-side.
 
         Each round spends one attempt per still-pending task: the
@@ -357,7 +363,9 @@ class SolveScheduler:
                     status, payload, delta = envelope
                     self.remote_faults += delta
                     if status == "ok":
-                        results[index] = payload
+                        results[index] = (
+                            decode(payload, index) if decode is not None else payload
+                        )
                     else:
                         self.faults_seen += 1
                         failed.append(index)
@@ -403,26 +411,35 @@ class SolveScheduler:
         return self._settle(work, results, fallback)
 
     def _map_process(
-        self, fn: Callable[[T], R], work: Sequence[T], fallback
+        self, fn: Callable[[T], R], work: Sequence[T], fallback, encode, decode
     ) -> List[R]:
         """Generic map over forked workers.
 
         The pool is per-call: workers must fork *after*
         :data:`_FORK_TASK` is staged so ``fn`` and the items reach them
         by inheritance (arbitrary closures never pickle). Results —
-        which must pickle — come back positionally in envelopes.
+        which must pickle — come back positionally in envelopes, shrunk
+        through ``encode`` worker-side and rebuilt through ``decode``
+        parent-side when the caller wired that seam. Indices are
+        chunked so each worker gets one contiguous slab instead of a
+        per-item pickle round trip.
         """
         global _FORK_TASK
         workers = min(self.parallelism, len(work))
         results: List = [_PENDING] * len(work)
-        _FORK_TASK = (fn, work, self.fault_injector)
+        _FORK_TASK = (fn, work, self.fault_injector, encode)
         try:
             ctx = multiprocessing.get_context("fork")
             with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
                 self._drive_rounds(
                     len(work),
                     results,
-                    lambda indices: pool.map(_fork_map_worker, indices),
+                    lambda indices: pool.map(
+                        _fork_map_worker,
+                        indices,
+                        chunksize=max(1, len(indices) // workers),
+                    ),
+                    decode=decode,
                 )
         finally:
             _FORK_TASK = None
@@ -435,6 +452,8 @@ class SolveScheduler:
         fn: Callable[[T], R],
         items: Iterable[T],
         fallback: Optional[Callable[[T], R]] = None,
+        encode: Optional[Callable[[R], object]] = None,
+        decode: Optional[Callable[[object, int], R]] = None,
     ) -> List[R]:
         """``[fn(item) for item in items]``, possibly across a pool.
 
@@ -442,6 +461,13 @@ class SolveScheduler:
         pool; every flavor returns results positionally and funnels
         exhausted tasks through ``fallback`` on the calling thread, so
         output order and payloads never depend on scheduling.
+
+        ``encode``/``decode`` are the process backend's pickle-slimming
+        seam: ``encode(result)`` runs in the worker to shrink what
+        crosses the pipe, ``decode(payload, index)`` runs in the parent
+        to rebuild the full result. In-process backends (serial/thread)
+        and fallback results skip both — the caller must make
+        ``decode(encode(r), i)`` equivalent to ``r`` for every consumer.
         """
         work: Sequence[T] = list(items)
         backend = self._resolve_backend(len(work), plans=False)
@@ -449,7 +475,7 @@ class SolveScheduler:
             return [self._run_one(fn, item, fallback) for item in work]
         if backend == "thread":
             return self._map_thread(fn, work, fallback)
-        return self._map_process(fn, work, fallback)
+        return self._map_process(fn, work, fallback, encode, decode)
 
     def solve_plans(
         self,

@@ -52,6 +52,7 @@ from typing import Callable, Dict, Hashable, Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from repro.cache_stats import CacheStatsMixin
 from repro.core.estimation import CachedStateEvaluator
 from repro.core.state import State
 
@@ -185,7 +186,7 @@ def _frontier_nbytes(frontier: Frontier) -> int:
     return 56 + sum(56 + 8 * len(state) for state in frontier)
 
 
-class FrontierCache:
+class FrontierCache(CacheStatsMixin):
     """Shared evaluators + boundary frontiers across solves.
 
     ``capacity`` bounds the number of distinct space signatures held
@@ -203,10 +204,7 @@ class FrontierCache:
         self._memos: "OrderedDict[Tuple, FrontierMemo]" = OrderedDict()
         self._stats_token: Hashable = None
         self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
-        self.invalidations = 0
-        self.evictions = 0
+        self._init_stats()
         # Incrementally maintained estimate of the bytes pinned by the
         # stored frontiers (evaluator mask caches grow on demand and are
         # estimated from their pinned parameter arrays in counters()).
@@ -357,28 +355,28 @@ class FrontierCache:
 
     # -- introspection -------------------------------------------------------------
 
+    def _stats_entries(self) -> int:
+        return sum(len(memo) for memo in self._memos.values())
+
+    def _stats_bytes(self) -> int:
+        return self._frontier_bytes + self._evaluator_bytes
+
+    def _stats_extra(self) -> Dict[str, int]:
+        return {
+            "evaluators": len(self._evaluators),
+            "frontiers": self._stats_entries(),
+        }
+
     def counters(self) -> Dict[str, int]:
         """Frontier hit/miss/invalidation tallies plus entry counts.
 
-        The dict carries the cross-cache telemetry shape every cache in
-        the system shares (``hits/misses/lookups/invalidations/
-        evictions/entries/bytes_estimate``) plus this cache's two
-        resident populations (``evaluators``/``frontiers`` —
+        The shared telemetry shape (see
+        :class:`~repro.cache_stats.CacheStatsMixin`) plus this cache's
+        two resident populations (``evaluators``/``frontiers`` —
         ``entries`` aliases the latter).
         """
         with self._lock:
-            frontiers = sum(len(memo) for memo in self._memos.values())
-            return {
-                "hits": self.hits,
-                "misses": self.misses,
-                "lookups": self.hits + self.misses,
-                "invalidations": self.invalidations,
-                "evictions": self.evictions,
-                "entries": frontiers,
-                "bytes_estimate": self._frontier_bytes + self._evaluator_bytes,
-                "evaluators": len(self._evaluators),
-                "frontiers": frontiers,
-            }
+            return super().counters()
 
 
 def _evaluator_nbytes(evaluator: CachedStateEvaluator) -> int:

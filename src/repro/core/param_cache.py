@@ -30,6 +30,7 @@ import threading
 from collections import OrderedDict
 from typing import Callable, Dict, Hashable, Optional, Tuple
 
+from repro.cache_stats import CacheStatsMixin
 from repro.preferences.model import PreferencePath
 
 PricePair = Tuple[float, float]  # (cost, reduction)
@@ -37,7 +38,7 @@ PricePair = Tuple[float, float]  # (cost, reduction)
 DEFAULT_CAPACITY = 65536
 
 
-class ParameterCache:
+class ParameterCache(CacheStatsMixin):
     """Keyed memo of per-path (cost, reduction) pricing across requests.
 
     ``capacity`` bounds the entry count with LRU eviction; a capacity of
@@ -52,10 +53,7 @@ class ParameterCache:
         self._entries: "OrderedDict[Tuple[str, Tuple], PricePair]" = OrderedDict()
         self._stats_token: Hashable = None
         self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
-        self.invalidations = 0
-        self.evictions = 0
+        self._init_stats()
         self._bytes = 0  # incrementally maintained entry-size estimate
         # Fault seam: when set, called (outside the lock) with the site
         # name at the top of every lookup. The deterministic injector in
@@ -163,19 +161,15 @@ class ParameterCache:
                     self.evictions += 1
         return installed
 
+    def _stats_entries(self) -> int:
+        return len(self._entries)
+
+    def _stats_bytes(self) -> int:
+        return self._bytes
+
     def counters(self) -> Dict[str, int]:
-        """Hit/miss/invalidation tallies plus the current entry count,
-        in the telemetry shape every cache in the system shares."""
         with self._lock:
-            return {
-                "hits": self.hits,
-                "misses": self.misses,
-                "lookups": self.hits + self.misses,
-                "invalidations": self.invalidations,
-                "evictions": self.evictions,
-                "entries": len(self._entries),
-                "bytes_estimate": self._bytes,
-            }
+            return super().counters()
 
 
 def _entry_nbytes(key: Tuple[str, Tuple]) -> int:

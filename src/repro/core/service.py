@@ -27,12 +27,13 @@ from repro.core.frontier_cache import FrontierCache
 from repro.core.param_cache import ParameterCache
 from repro.core.personalizer import PersonalizationOutcome, Personalizer
 from repro.core.problem import CQPProblem
+from repro.core.rewriter import QueryRewriter
 from repro.errors import PreferenceError
 from repro.preferences.composition import DoiAlgebra, PRODUCT_ALGEBRA
 from repro.preferences.learning import LearningConfig, learn_profile, merge_profiles
 from repro.preferences.profile import UserProfile
 from repro.sql.ast_nodes import SelectQuery
-from repro.sql.columnar import FrameCache
+from repro.sql.columnar import DEFAULT_FRAME_CAPACITY, FrameCache
 from repro.sql.parser import parse_select
 from repro.sql.printer import to_sql
 from repro.storage.database import Database
@@ -227,7 +228,11 @@ class PersonalizationService:
                     2 * len(snapshot.frontier_state.get("memos", ())),
                 )
             frame_entries = len(snapshot.frame_state.get("entries", ()))
-            self.frame_cache = FrameCache(capacity=max(512, 2 * frame_entries))
+            # Unbounded byte budget: a boot must never evict the frames
+            # it is installing (the entry cap is already sized to fit).
+            self.frame_cache = FrameCache(
+                capacity=max(512, 2 * frame_entries), capacity_bytes=None
+            )
             self.snapshot_installed = snapshot.restore_into(
                 database,
                 param_cache=self.personalizer.param_cache,
@@ -442,7 +447,11 @@ class PersonalizationService:
 
         Returns responses in the order of ``requests``; duplicate
         members of a group share one immutable rows tuple (no per-member
-        copies).
+        copies). One caveat of the process backend: outcomes crossing a
+        worker pipe are rebuilt parent-side from their (solution, paths)
+        payload and carry ``outcome.preference_space = None`` — every
+        other field, the rewritten SQL, the executed rows, and all cost
+        receipts are identical to the in-process paths.
         """
         specs: List[Tuple[str, SelectQuery, CQPProblem, Optional[str], Optional[int]]] = []
         for req in requests:
@@ -528,6 +537,38 @@ class PersonalizationService:
             self.personalizer.invalidate_caches()
             return personalize_super(group_indices)
 
+        # Pickle-slimming seam for the process backend: a worker ships
+        # only each outcome's (solution, paths) — the parts that are
+        # pure solver output — and the parent re-derives the rewritten
+        # query exactly as personalize_many would have. Rebuilt outcomes
+        # carry ``preference_space=None`` (the space is worker-local
+        # solver state, expensive to pickle and unused downstream of the
+        # batched path); in-process backends and fallbacks still return
+        # full outcomes.
+        def encode_outcomes(outcome_list: List[PersonalizationOutcome]):
+            return [(outcome.solution, outcome.paths) for outcome in outcome_list]
+
+        def decode_outcomes(payload, super_index: int) -> List[PersonalizationOutcome]:
+            rebuilt: List[PersonalizationOutcome] = []
+            for group_index, (solution, paths) in zip(
+                super_lists[super_index], payload
+            ):
+                _, query, problem, _, _ = specs[member_lists[group_index][0]]
+                rewriter = QueryRewriter(
+                    query, schema=self.personalizer.database.schema
+                )
+                rebuilt.append(
+                    PersonalizationOutcome(
+                        problem=problem,
+                        original_query=query,
+                        personalized_query=rewriter.personalized_query(paths),
+                        solution=solution,
+                        paths=paths,
+                        preference_space=None,
+                    )
+                )
+            return rebuilt
+
         workers = self.parallelism if max_workers is None else max_workers
         faults_before = self._faults_so_far()
         scheduler = SolveScheduler(
@@ -537,7 +578,11 @@ class PersonalizationService:
             backend=self.backend,
         )
         super_outcomes = scheduler.map(
-            personalize_super, super_lists, fallback=personalize_super_cold
+            personalize_super,
+            super_lists,
+            fallback=personalize_super_cold,
+            encode=encode_outcomes,
+            decode=decode_outcomes,
         )
         outcomes: List[Optional[PersonalizationOutcome]] = [None] * len(member_lists)
         for group_indices, outcome_list in zip(super_lists, super_outcomes):
@@ -552,7 +597,13 @@ class PersonalizationService:
         elif self.frame_cache is not None:
             batch_frames = self.frame_cache
         else:
-            batch_frames = FrameCache()
+            # Sized from the workload: every group can keep its full
+            # plan-prefix chain resident (a personalized UNION ALL
+            # rarely produces more than a few dozen distinct subtrees),
+            # with the byte budget as the real backstop.
+            batch_frames = FrameCache(
+                capacity=max(DEFAULT_FRAME_CAPACITY, 64 * len(member_lists))
+            )
             if self.fault_injector is not None:
                 self.fault_injector.arm_cache(batch_frames)
         responses: List[Optional[ServiceResponse]] = [None] * len(specs)

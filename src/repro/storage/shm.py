@@ -36,6 +36,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.storage.columns import values_as_shared_array
 from repro.storage.database import Database
 
 __all__ = ["ColumnExport", "SharedColumns", "attach_columns", "export_columns"]
@@ -52,12 +53,7 @@ _ATTACHED: List[shared_memory.SharedMemory] = []
 
 def _as_shared_array(values: Sequence[object]) -> Optional[np.ndarray]:
     """``values`` as a fixed-dtype array, or None when not representable."""
-    if any(value is None for value in values):
-        return None
-    array = np.asarray(values)
-    if array.dtype.kind not in _SHAREABLE_KINDS or array.dtype.hasobject:
-        return None
-    return array
+    return values_as_shared_array(values)
 
 
 class SharedColumns:
@@ -169,5 +165,8 @@ def attach_columns(database: Database, handle: SharedColumns) -> List[str]:
             view.flags.writeable = False
             views.append(view)
         table._column_cache = tuple(views)
+        # The typed-column cache was built over the fork-copied lists;
+        # drop it so the next scan re-encodes over the shared views.
+        table._encoded_cache = None
         attached.append(name)
     return attached

@@ -68,6 +68,13 @@ class AttributeStatistics:
     histogram: Optional[Histogram] = None
     min_value: Optional[object] = None
     max_value: Optional[object] = None
+    # Memoized range estimates. The statistics object is immutable for
+    # its lifetime (rebuilt wholesale by analyze()), and planners ask
+    # for the same few bounds over and over — every branch of a
+    # personalized UNION ALL repeats the base query's conditions.
+    _range_memo: Dict[Tuple, float] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def equality_selectivity(self, value: object) -> float:
         """Fraction of rows satisfying ``attr = value``."""
@@ -81,6 +88,15 @@ class AttributeStatistics:
 
     def range_selectivity(self, low: Optional[float], high: Optional[float]) -> float:
         """Fraction of rows with value in [low, high] (None = unbounded)."""
+        memo_key = (low, high)
+        cached = self._range_memo.get(memo_key)
+        if cached is not None:
+            return cached
+        selectivity = self._range_selectivity(low, high)
+        self._range_memo[memo_key] = selectivity
+        return selectivity
+
+    def _range_selectivity(self, low: Optional[float], high: Optional[float]) -> float:
         if self.row_count == 0:
             return 0.0
         if self.histogram is not None:

@@ -36,6 +36,7 @@ class Table:
         self.rows_per_block = max(1, block_size // relation.row_width)
         self._rows: List[Row] = []
         self._column_cache: Optional[Tuple[List[object], ...]] = None
+        self._encoded_cache: Optional[Tuple[object, ...]] = None
         self._pk_index: Optional[Dict[object, int]] = None
         if relation.primary_key is not None:
             self._pk_index = {}
@@ -67,6 +68,7 @@ class Table:
             self._pk_index[key] = len(self._rows)
         self._rows.append(stored)
         self._column_cache = None
+        self._encoded_cache = None
         return stored
 
     def insert_many(self, rows: Sequence[Sequence[object]]) -> int:
@@ -114,6 +116,32 @@ class Table:
                 for position in range(len(self.relation.attributes))
             )
         return self._column_cache
+
+    def encoded_columns(self) -> Tuple[object, ...]:
+        """All columns as typed, dictionary-encoded
+        :class:`~repro.storage.columns.Column` objects, in attribute
+        order — the vectorized engine's scan source.
+
+        Encoded once per table version (cache dropped on insert, and by
+        :mod:`repro.storage.shm` when shared views are attached) and
+        shared between every frame built on this table, which is why
+        the columns are flagged *pinned*: their bytes are resident
+        regardless of any cache's decisions, so frame-cache byte
+        budgets count them as free.
+        """
+        if self._encoded_cache is None:
+            from repro.storage.columns import Column
+            import numpy as _np
+
+            self._encoded_cache = tuple(
+                Column.from_array(values, pinned=True)
+                if isinstance(values, _np.ndarray)
+                else Column.from_typed(values, attribute.data_type, pinned=True)
+                for values, attribute in zip(
+                    self.column_arrays(), self.relation.attributes
+                )
+            )
+        return self._encoded_cache
 
     # -- block accounting ----------------------------------------------------
 

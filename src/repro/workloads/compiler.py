@@ -265,7 +265,9 @@ def compile_workload(
         frame_capacity = max(
             4096, 64 * (len(parsed) + min(len(personalized), budget))
         )
-    frame_cache = FrameCache(capacity=frame_capacity)
+    # Unbounded byte budget: the compiler's cache must hold every frame
+    # the workload produced so the snapshot captures all of them.
+    frame_cache = FrameCache(capacity=frame_capacity, capacity_bytes=None)
     frames_executed = 0
     if precompute_frames:
         frame_cache.validate(token)
