@@ -1,0 +1,210 @@
+"""Async serving under Poisson open-loop load.
+
+Drives :class:`repro.serving.server.AsyncPersonalizationServer` with the
+seeded open-loop generator (:mod:`repro.serving.loadgen`): arrivals are
+i.i.d. exponential at a configured rate, each request fires as its own
+task whatever the backlog looks like, and every outcome — served,
+rejected-with-retry-after, or errored — is accounted. Three sections:
+
+* **open_loop** — the headline: sustained req/s plus per-SLA-tier
+  p50/p95/p99 latency, WIN/IMPROVED/NEUTRAL/REGRESSION taxonomy,
+  rejections, and algorithm downgrades under a gold/silver/bronze mix;
+* **burst_batched / burst_unbatched** — the same burst (the open
+  loop's λ→∞ limit, zero sleeps) through the micro-batching server vs
+  a ``max_batch=1`` server that dispatches one solve per request: the
+  micro-batching win the ``served-p95-beats-unbatched`` perf-smoke
+  gate (``benchmarks/check_perf_smoke.py``) asserts;
+* a saturation pass at several arrival rates (skipped with
+  ``--quick``), showing degradation and backpressure engaging as the
+  offered load climbs.
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_async_serving.py [--quick] [--no-write]
+
+Appends one trajectory point (tagged ``"benchmark_section":
+"async_serving"``) to ``BENCH_service_throughput.json`` at the repo
+root and prints per-tier tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from repro.core.problem import CQPProblem
+from repro.core.service import BatchRequest, PersonalizationService
+from repro.datasets.movies import MovieDatasetConfig, build_movie_database
+from repro.serving.config import ServingConfig
+from repro.serving.loadgen import (
+    DEFAULT_TIER_MIX,
+    assign_tiers,
+    run_burst,
+    run_open_loop,
+)
+from repro.serving.server import AsyncPersonalizationServer
+from repro.workloads.profiles import generate_profiles
+from repro.workloads.queries import generate_queries
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+TRAJECTORY_FILE = REPO_ROOT / "BENCH_service_throughput.json"
+
+K = 20
+CMAX = 400.0
+REPEATS = 3
+DATASET = MovieDatasetConfig(n_movies=1500, n_directors=300, n_actors=700)
+SATURATION_RATES = (50.0, 200.0, 800.0)
+
+
+def build_workload(quick: bool):
+    n_profiles = 3 if quick else 8
+    n_queries = 2 if quick else 5
+    database = build_movie_database(DATASET, seed=0)
+    database.analyze()
+    profiles = generate_profiles(database, count=n_profiles, seed=0)
+    queries = generate_queries(count=n_queries, seed=0)
+    service = PersonalizationService(database)
+    users = []
+    for index, profile in enumerate(profiles):
+        user = "user-%02d" % index
+        service.register(user, profile)
+        users.append(user)
+    problem = CQPProblem.problem2(cmax=CMAX)
+    stream = [
+        BatchRequest(user=user, query=query, problem=problem, k_limit=K)
+        for _ in range(REPEATS)
+        for user in users
+        for query in queries
+    ]
+    return service, stream
+
+
+def print_tiers(label: str, summary: Dict) -> None:
+    print("%s: %d/%d served at %.1f req/s (%d rejected, %d downgrades)"
+          % (label, summary["served"], summary["offered"],
+             summary["sustained_req_per_s"], summary["rejected"],
+             summary["downgrades"]))
+    for tier, block in sorted(summary["tiers"].items()):
+        print("  %-7s served=%-4d rejected=%-4d p50=%-8.1f p95=%-8.1f "
+              "p99=%-8.1f %s"
+              % (tier, block["served"], block["rejected"], block["p50_ms"],
+                 block["p95_ms"], block["p99_ms"], block["taxonomy"]))
+
+
+async def open_loop_section(service, stream, rate: float, seed: int) -> Dict:
+    tiers = assign_tiers(len(stream), seed=seed, mix=DEFAULT_TIER_MIX)
+    async with AsyncPersonalizationServer(service) as server:
+        result = await run_open_loop(server, stream, tiers, rate_per_s=rate,
+                                     seed=seed)
+        return result.summary(server)
+
+
+def burst_p95(service, stream, batched: bool) -> Dict:
+    """The whole stream at once through one bronze-tier server; the
+    p95 the perf-smoke gate compares comes out of this."""
+    if batched:
+        config = ServingConfig.passthrough(32)
+    else:
+        config = ServingConfig.passthrough(1)  # one solve per request
+
+    async def run():
+        async with AsyncPersonalizationServer(service, config=config) as server:
+            result = await run_burst(server, stream, tier="bronze")
+            return result.summary(server)
+
+    return asyncio.run(run())
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small workload for a fast sanity run")
+    parser.add_argument("--rate", type=float, default=None,
+                        help="open-loop arrival rate (req/s)")
+    parser.add_argument("--no-write", action="store_true",
+                        help="do not append to %s" % TRAJECTORY_FILE.name)
+    args = parser.parse_args()
+
+    print("building database (%d movies)..." % DATASET.n_movies)
+    service, stream = build_workload(args.quick)
+    print("stream: %d requests, K=%d, cmax=%.0f" % (len(stream), K, CMAX))
+
+    # Warm the caches once so every serving mode measures the same
+    # steady state, not first-touch pricing.
+    warm_started = time.perf_counter()
+    service.request_many(list(stream))
+    print("warmup request_many: %.2f s" % (time.perf_counter() - warm_started))
+
+    rate = args.rate if args.rate is not None else (100.0 if args.quick else 200.0)
+    results: Dict[str, Dict] = {}
+
+    results["open_loop"] = asyncio.run(open_loop_section(service, stream, rate, seed=7))
+    print_tiers("open_loop @ %.0f req/s" % rate, results["open_loop"])
+
+    results["burst_batched"] = burst_p95(service, stream, batched=True)
+    print_tiers("burst_batched", results["burst_batched"])
+    results["burst_unbatched"] = burst_p95(service, stream, batched=False)
+    print_tiers("burst_unbatched", results["burst_unbatched"])
+
+    batched_p95 = results["burst_batched"]["tiers"]["bronze"]["p95_ms"]
+    unbatched_p95 = results["burst_unbatched"]["tiers"]["bronze"]["p95_ms"]
+    ratio = unbatched_p95 / batched_p95 if batched_p95 else float("inf")
+    print("burst p95: batched %.1f ms vs unbatched %.1f ms (%.2fx)"
+          % (batched_p95, unbatched_p95, ratio))
+
+    if not args.quick:
+        saturation: List[Dict] = []
+        for sat_rate in SATURATION_RATES:
+            summary = asyncio.run(
+                open_loop_section(service, stream, sat_rate, seed=11)
+            )
+            summary["rate_per_s"] = sat_rate
+            saturation.append(summary)
+            print_tiers("saturation @ %.0f req/s" % sat_rate, summary)
+        results["saturation"] = {"points": saturation}
+
+    entry = {
+        "date": time.strftime("%Y-%m-%d"),
+        "benchmark_section": "async_serving",
+        "config": {
+            "n_requests": len(stream),
+            "k": K,
+            "cmax": CMAX,
+            "n_movies": DATASET.n_movies,
+            "rate_per_s": rate,
+            "tier_mix": dict(DEFAULT_TIER_MIX),
+            "quick": args.quick,
+        },
+        "modes": results,
+        "burst_p95_batched_ms": batched_p95,
+        "burst_p95_unbatched_ms": unbatched_p95,
+        "burst_p95_speedup": round(ratio, 2),
+    }
+    if not args.no_write:
+        trajectory = []
+        if TRAJECTORY_FILE.exists():
+            trajectory = json.loads(TRAJECTORY_FILE.read_text())["trajectory"]
+        trajectory.append(entry)
+        TRAJECTORY_FILE.write_text(
+            json.dumps({"benchmark": "service_throughput", "trajectory": trajectory},
+                       indent=2) + "\n"
+        )
+        print("appended to %s" % TRAJECTORY_FILE)
+
+    served = results["open_loop"]["served"] + results["open_loop"]["rejected"]
+    if served != results["open_loop"]["offered"]:
+        print("FAIL: %d offered but only %d accounted"
+              % (results["open_loop"]["offered"], served))
+        return 1
+    if results["open_loop"]["errors"]:
+        print("FAIL: %d submit errors" % results["open_loop"]["errors"])
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

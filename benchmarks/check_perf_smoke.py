@@ -560,6 +560,64 @@ def test_process_plans_beat_the_cold_serial_loop():
     )
 
 
+@pytest.mark.perfsmoke
+@pytest.mark.tier2
+def test_served_p95_beats_unbatched():
+    """The serving layer's bargain: under a burst, micro-batching must
+    cut tail latency. The same request burst goes through the async
+    server twice — once with coalescing on (one ``request_many``
+    supergroup) and once with ``max_batch=1`` (one solve dispatch per
+    request, solves serialized). Queue time counts for both, so the
+    batched p95 wins exactly as far as batching amortizes solves and
+    shares duplicate groups. Answers must match bit-identically."""
+    import asyncio
+
+    from repro.serving.config import ServingConfig
+    from repro.serving.loadgen import run_burst
+    from repro.serving.server import AsyncPersonalizationServer
+    from repro.testing.differential import Receipt
+
+    database, profile, query = _workload()
+    problem = CQPProblem.problem2(cmax=400.0)
+    service = PersonalizationService(database)
+    service.register("al", profile)
+    stream = [
+        BatchRequest("al", query, problem=problem, k_limit=K) for _ in range(12)
+    ]
+    # Warm caches (measure serving, not pricing) and pin the answer
+    # every served response must match bit-identically.
+    reference = Receipt.of(service.request_many(stream)[0].outcome.solution)
+
+    def burst(capacity: int):
+        config = ServingConfig.passthrough(32)
+        if capacity == 1:
+            config = ServingConfig.passthrough(1)
+
+        async def run():
+            async with AsyncPersonalizationServer(service, config=config) as server:
+                result = await run_burst(server, stream, tier="bronze")
+                return result, result.summary(server)
+
+        return asyncio.run(run())
+
+    batched_times, unbatched_times = [], []
+    for _ in range(ROUNDS):
+        batched_result, batched = burst(32)
+        _, unbatched = burst(1)
+        batched_times.append(batched["tiers"]["bronze"]["p95_ms"])
+        unbatched_times.append(unbatched["tiers"]["bronze"]["p95_ms"])
+        assert batched["served"] == len(stream) == unbatched["served"]
+        for _, _, item in batched_result.served:
+            assert Receipt.of(item.response.outcome.solution) == reference
+
+    batched_p95 = min(batched_times)
+    unbatched_p95 = min(unbatched_times)
+    assert batched_p95 <= unbatched_p95 * WARM_MARGIN, (
+        "served p95 %.2f ms (batched) not faster than %.2f ms (unbatched)"
+        % (batched_p95, unbatched_p95)
+    )
+
+
 if __name__ == "__main__":
     raise SystemExit(
         pytest.main([__file__, "-m", "perfsmoke", "-v"])

@@ -75,6 +75,11 @@ class ServiceResponse:
     # fallback. Both stay 0 in normal, fault-free operation.
     faults_injected: int = 0
     fallbacks_taken: int = 0
+    # Why this response is degraded, when it is: transient-fault
+    # fallbacks set it here, SLA-driven algorithm downgrades set it in
+    # the serving layer (see repro.serving.degradation). None whenever
+    # the response is the full-fidelity answer.
+    degradation_reason: Optional[str] = None
     # Unified cross-request cache telemetry at the time this response
     # was produced: one counter block per cache (param_cache /
     # frontier_cache / frame_cache), each in the shared
@@ -88,9 +93,12 @@ class ServiceResponse:
 
     @property
     def degraded(self) -> bool:
-        """True when any part of producing this response fell back to
-        the cold single-threaded path after transient faults."""
-        return self.fallbacks_taken > 0
+        """True when this response is anything less than the
+        full-fidelity answer: a transient-fault fallback re-ran it on
+        the cold single-threaded path, **or** the serving layer
+        downgraded the algorithm to meet an SLA budget
+        (``degradation_reason`` says which)."""
+        return self.fallbacks_taken > 0 or self.degradation_reason is not None
 
 
 @dataclass
@@ -631,11 +639,18 @@ class PersonalizationService:
         if self.fault_injector is None:
             faults = scheduler.faults_seen + scheduler.remote_faults
         if faults or scheduler.fallbacks_taken:
+            reason = (
+                "transient-fault fallback: %d task(s) re-ran on the cold "
+                "single-threaded path" % scheduler.fallbacks_taken
+                if scheduler.fallbacks_taken
+                else None
+            )
             for position, response in enumerate(responses):
                 responses[position] = replace(
                     response,
                     faults_injected=faults,
                     fallbacks_taken=scheduler.fallbacks_taken,
+                    degradation_reason=reason,
                 )
         # One telemetry block per batch, shared read-only by every
         # member (counters are batch-level state anyway).

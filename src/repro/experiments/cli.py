@@ -11,6 +11,12 @@ workload snapshots (see :mod:`repro.experiments.workload_cli`)::
 
     python -m repro.experiments workload compile --out /tmp/wl --quick
     python -m repro.experiments workload serve-replay /tmp/wl --verify
+
+The ``serve`` subcommand runs a demo async serving session — Poisson
+open-loop load through the micro-batching, SLA-tiered front-end (see
+:mod:`repro.experiments.serve_cli`)::
+
+    python -m repro.experiments serve --rate 100 --requests 120
 """
 
 from __future__ import annotations
@@ -61,6 +67,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.experiments.workload_cli import workload_main
 
         return workload_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from repro.experiments.serve_cli import serve_main
+
+        return serve_main(argv[1:])
     args = build_parser().parse_args(argv)
     config = (
         ExperimentConfig.full(seed=args.seed)

@@ -1,0 +1,136 @@
+"""The ``serve`` subcommand: a demo async serving session.
+
+Usage::
+
+    python -m repro.experiments serve [--rate 100] [--requests 120] [--quick]
+
+Builds the seeded movie database and a small user fleet, starts an
+:class:`~repro.serving.server.AsyncPersonalizationServer` over a
+:class:`~repro.core.service.PersonalizationService`, and drives it with
+the seeded Poisson open-loop generator (:mod:`repro.serving.loadgen`)
+under the default gold/silver/bronze SLA mix. Prints the per-tier
+scoreboard: served/rejected counts, WIN/IMPROVED/NEUTRAL/REGRESSION
+taxonomy, and p50/p95/p99 latency — the live-demo face of
+``benchmarks/bench_async_serving.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.problem import CQPProblem
+from repro.core.service import BatchRequest, PersonalizationService
+from repro.datasets.movies import MovieDatasetConfig, build_movie_database
+from repro.serving.config import ServingConfig
+from repro.serving.loadgen import DEFAULT_TIER_MIX, assign_tiers, run_open_loop
+from repro.serving.server import AsyncPersonalizationServer
+from repro.workloads.profiles import generate_profiles
+from repro.workloads.queries import generate_queries
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments serve",
+        description="Serve a demo fleet through the async front-end.",
+    )
+    parser.add_argument("--rate", type=float, default=100.0,
+                        help="Poisson arrival rate (req/s)")
+    parser.add_argument("--requests", type=int, default=120,
+                        help="how many requests to offer")
+    parser.add_argument("--users", type=int, default=6)
+    parser.add_argument("--queries", type=int, default=4)
+    parser.add_argument("--movies", type=int, default=1200)
+    parser.add_argument("--cmax", type=float, default=400.0)
+    parser.add_argument("--k-limit", type=int, default=20)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--batch-window-ms", type=float, default=5.0)
+    parser.add_argument("--max-batch", type=int, default=32)
+    parser.add_argument("--no-degradation", action="store_true",
+                        help="pin every solve to its requested algorithm")
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny CI-sized settings (overrides the scale flags)")
+    return parser
+
+
+def _build_stream(args) -> Tuple[PersonalizationService, List[BatchRequest]]:
+    database = build_movie_database(
+        MovieDatasetConfig(
+            n_movies=args.movies,
+            n_directors=max(50, args.movies // 5),
+            n_actors=max(100, args.movies // 2),
+        ),
+        seed=args.seed,
+    )
+    database.analyze()
+    profiles = generate_profiles(database, count=args.users, seed=args.seed)
+    queries = generate_queries(count=args.queries, seed=args.seed)
+    service = PersonalizationService(database)
+    users = []
+    for index, profile in enumerate(profiles):
+        user = "user-%02d" % index
+        service.register(user, profile)
+        users.append(user)
+    problem = CQPProblem.problem2(cmax=args.cmax)
+    stream = [
+        BatchRequest(
+            user=users[n % len(users)],
+            query=queries[n % len(queries)],
+            problem=problem,
+            k_limit=args.k_limit,
+        )
+        for n in range(args.requests)
+    ]
+    return service, stream
+
+
+def serve_main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_serve_parser().parse_args(argv)
+    if args.quick:
+        args.requests = min(args.requests, 30)
+        args.users, args.queries, args.movies = 3, 2, 600
+        args.k_limit = 12
+
+    print("building database (%d movies), %d users x %d queries..."
+          % (args.movies, args.users, args.queries))
+    service, stream = _build_stream(args)
+    tiers = assign_tiers(len(stream), seed=args.seed, mix=DEFAULT_TIER_MIX)
+    config = ServingConfig(
+        max_batch=args.max_batch,
+        batch_window_ms=args.batch_window_ms,
+        degradation=not args.no_degradation,
+    )
+
+    async def session():
+        async with AsyncPersonalizationServer(service, config=config) as server:
+            result = await run_open_loop(
+                server, stream, tiers, rate_per_s=args.rate, seed=args.seed
+            )
+            return result, result.summary(server)
+
+    print("serving %d requests at ~%.0f req/s (window %.1f ms, max batch %d)..."
+          % (len(stream), args.rate, args.batch_window_ms, args.max_batch))
+    result, summary = asyncio.run(session())
+
+    print()
+    print("offered %d | served %d | rejected %d | errors %d | %.1f req/s "
+          "sustained | mean batch %.2f | downgrades %d"
+          % (summary["offered"], summary["served"], summary["rejected"],
+             summary["errors"], summary["sustained_req_per_s"],
+             summary["mean_batch"], summary["downgrades"]))
+    header = ("tier", "served", "rejected", "WIN", "IMPROVED", "NEUTRAL",
+              "REGRESSION", "p50_ms", "p95_ms", "p99_ms")
+    print("%-8s %7s %8s %5s %8s %7s %10s %9s %9s %9s" % header)
+    for tier, block in sorted(summary["tiers"].items()):
+        taxonomy = block["taxonomy"]
+        print("%-8s %7d %8d %5d %8d %7d %10d %9.1f %9.1f %9.1f"
+              % (tier, block["served"], block["rejected"], taxonomy["WIN"],
+                 taxonomy["IMPROVED"], taxonomy["NEUTRAL"],
+                 taxonomy["REGRESSION"], block["p50_ms"], block["p95_ms"],
+                 block["p99_ms"]))
+    if result.errors:
+        for index, message in result.errors[:5]:
+            print("error on request %d: %s" % (index, message))
+        return 1
+    return 0

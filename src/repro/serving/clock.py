@@ -1,0 +1,40 @@
+"""Injectable monotonic time for the serving layer.
+
+Every serving component that reasons about time takes a clock (or an
+explicit ``now``) instead of calling :func:`time.monotonic` directly, so
+the fake-clock test suite can step through flush deadlines, admission
+windows and degradation thresholds without a single real sleep.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class SystemClock:
+    """Production time: a thin wrapper over :func:`time.monotonic`."""
+
+    def monotonic(self) -> float:
+        return time.monotonic()
+
+
+class VirtualClock:
+    """Deterministic test time: advances only when told to.
+
+    ``advance`` is the only mutator; it refuses to move backwards, so a
+    test that mis-orders its steps fails loudly instead of producing a
+    nonsensical (but green) timeline.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def monotonic(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward by ``seconds``; returns the new now."""
+        if seconds < 0:
+            raise ValueError("a monotonic clock cannot go backwards (%r)" % seconds)
+        self._now += seconds
+        return self._now

@@ -1,0 +1,165 @@
+"""SLA tiers and the serving knobs.
+
+The tier model follows the scenario-card / resource-envelope composition
+of the querytorque architecture (SNIPPETS.md): a tier is a named
+envelope — latency deadline, admission budget, retry-after hint,
+degradation thresholds — and the server composes the envelope with each
+request rather than hard-coding one global policy. Three default tiers
+ship (``gold`` > ``silver`` > ``bronze``); any fleet can define its own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Tuple
+
+from repro.errors import PreferenceError
+
+
+@dataclass(frozen=True)
+class SlaTier:
+    """One service class: the resource envelope a request is served under.
+
+    ``priority`` orders dispatch inside a flushed batch (lower is more
+    important). ``queue_budget`` is the *total* outstanding depth
+    (queued + in flight) at which this tier's requests stop being
+    admitted — lower tiers carry smaller budgets, so under load the
+    queue sheds bronze before silver before gold (tier-ordered
+    admission). ``degrade_queue_depth`` and
+    ``degrade_elapsed_fraction`` are the graceful-degradation
+    thresholds: past either, the solve is downgraded one rung on the
+    algorithm ladder (past both, straight to the ladder's floor).
+    """
+
+    name: str
+    priority: int
+    deadline_ms: float
+    queue_budget: int
+    retry_after_ms: float
+    degrade_queue_depth: int
+    degrade_elapsed_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.deadline_ms <= 0:
+            raise ValueError("deadline_ms must be > 0, got %r" % self.deadline_ms)
+        if self.queue_budget < 1:
+            raise ValueError("queue_budget must be >= 1, got %r" % self.queue_budget)
+        if self.retry_after_ms <= 0:
+            raise ValueError("retry_after_ms must be > 0, got %r" % self.retry_after_ms)
+        if not 0.0 < self.degrade_elapsed_fraction <= 1.0:
+            raise ValueError(
+                "degrade_elapsed_fraction must be in (0, 1], got %r"
+                % self.degrade_elapsed_fraction
+            )
+
+    @property
+    def deadline_s(self) -> float:
+        return self.deadline_ms / 1000.0
+
+    @property
+    def retry_after_s(self) -> float:
+        return self.retry_after_ms / 1000.0
+
+
+DEFAULT_TIERS: Tuple[SlaTier, ...] = (
+    SlaTier(
+        name="gold",
+        priority=0,
+        deadline_ms=200.0,
+        queue_budget=256,
+        retry_after_ms=50.0,
+        degrade_queue_depth=64,
+    ),
+    SlaTier(
+        name="silver",
+        priority=1,
+        deadline_ms=500.0,
+        queue_budget=128,
+        retry_after_ms=100.0,
+        degrade_queue_depth=32,
+    ),
+    SlaTier(
+        name="bronze",
+        priority=2,
+        deadline_ms=2000.0,
+        queue_budget=64,
+        retry_after_ms=250.0,
+        degrade_queue_depth=16,
+    ),
+)
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Everything the serving loop needs to decide without asking.
+
+    ``max_batch`` caps one ``request_many`` supergroup;
+    ``batch_window_ms`` is the micro-batching latency budget — a request
+    waits at most this long (and never more than
+    ``flush_deadline_fraction`` of its tier's deadline) for companions
+    before its batch is flushed. ``degradation=False`` pins every solve
+    to its requested algorithm regardless of load — the pass-through
+    mode the differential serving axis runs under, where responses must
+    be bit-identical to the synchronous service.
+    """
+
+    tiers: Tuple[SlaTier, ...] = DEFAULT_TIERS
+    default_tier: str = "silver"
+    max_batch: int = 32
+    batch_window_ms: float = 5.0
+    flush_deadline_fraction: float = 0.25
+    degradation: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1, got %r" % self.max_batch)
+        if self.batch_window_ms < 0:
+            raise ValueError(
+                "batch_window_ms must be >= 0, got %r" % self.batch_window_ms
+            )
+        if not 0.0 < self.flush_deadline_fraction <= 1.0:
+            raise ValueError(
+                "flush_deadline_fraction must be in (0, 1], got %r"
+                % self.flush_deadline_fraction
+            )
+        names = [tier.name for tier in self.tiers]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate tier names: %r" % (names,))
+        self.tier(self.default_tier)  # unknown default fails at construction
+
+    @property
+    def by_name(self) -> Dict[str, SlaTier]:
+        return {tier.name: tier for tier in self.tiers}
+
+    def tier(self, name: str) -> SlaTier:
+        try:
+            return self.by_name[name]
+        except KeyError:
+            raise PreferenceError(
+                "unknown SLA tier %r (have %s)"
+                % (name, ", ".join(sorted(self.by_name)))
+            ) from None
+
+    @classmethod
+    def passthrough(cls, capacity: int) -> "ServingConfig":
+        """The bit-identity configuration: admit everything, coalesce
+        everything, degrade nothing.
+
+        Used by the differential lattice's serving axis and the
+        hypothesis equivalence property: with one batch window of zero,
+        a batch cap of ``capacity`` and degradation off, the async
+        front-end is a pure reordering-free wrapper over
+        ``request_many`` — so its answers must be bit-identical to the
+        synchronous service's.
+        """
+        capacity = max(1, capacity)
+        tiers = tuple(
+            replace(tier, queue_budget=max(tier.queue_budget, 4 * capacity))
+            for tier in DEFAULT_TIERS
+        )
+        return cls(
+            tiers=tiers,
+            max_batch=capacity,
+            batch_window_ms=0.0,
+            degradation=False,
+        )

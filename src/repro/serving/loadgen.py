@@ -1,0 +1,133 @@
+"""Seeded Poisson open-loop load generation for the async server.
+
+Open-loop means arrivals do not wait for responses: inter-arrival gaps
+are drawn i.i.d. exponential from one seeded RNG and each request is
+fired as its own task the moment its gap elapses, whatever the server's
+backlog looks like — the regime where queueing, admission control, and
+degradation actually show up (a closed loop self-throttles and hides
+them). The benchmark and the ``python -m repro.experiments serve`` CLI
+both run this module; only their workloads differ.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.service import BatchRequest
+from repro.serving.admission import AdmissionRejected
+from repro.serving.server import AsyncPersonalizationServer, ServedResponse
+
+DEFAULT_TIER_MIX: Tuple[Tuple[str, float], ...] = (
+    ("gold", 0.2),
+    ("silver", 0.3),
+    ("bronze", 0.5),
+)
+
+
+def assign_tiers(
+    count: int, seed: int, mix: Sequence[Tuple[str, float]] = DEFAULT_TIER_MIX
+) -> List[str]:
+    """A seeded tier label per request, drawn from the mix's weights."""
+    rng = random.Random(seed)
+    names = [name for name, _ in mix]
+    weights = [weight for _, weight in mix]
+    return rng.choices(names, weights=weights, k=count)
+
+
+@dataclass
+class LoadResult:
+    """Everything one open-loop run produced."""
+
+    served: List[Tuple[int, str, ServedResponse]] = field(default_factory=list)
+    rejected: List[Tuple[int, str, float]] = field(default_factory=list)  # retry-after s
+    errors: List[Tuple[int, str]] = field(default_factory=list)
+    offered: int = 0
+    wall_s: float = 0.0
+
+    @property
+    def sustained_req_per_s(self) -> float:
+        return len(self.served) / self.wall_s if self.wall_s > 0 else 0.0
+
+    def summary(self, server: AsyncPersonalizationServer) -> Dict:
+        """The JSON-ready block the benchmark trajectory records."""
+        report = server.report()
+        return {
+            "offered": self.offered,
+            "served": len(self.served),
+            "rejected": len(self.rejected),
+            "errors": len(self.errors),
+            "wall_s": round(self.wall_s, 4),
+            "sustained_req_per_s": round(self.sustained_req_per_s, 2),
+            "mean_batch": report["mean_batch"],
+            "downgrades": report["downgrades"],
+            "tiers": report["tiers"],
+        }
+
+
+async def run_open_loop(
+    server: AsyncPersonalizationServer,
+    stream: Sequence[BatchRequest],
+    tiers: Sequence[str],
+    rate_per_s: float,
+    seed: int = 0,
+) -> LoadResult:
+    """Fire ``stream[i]`` at tier ``tiers[i]`` with seeded exponential
+    inter-arrival gaps at ``rate_per_s``; gather every outcome."""
+    if len(stream) != len(tiers):
+        raise ValueError("stream and tiers must align")
+    if rate_per_s <= 0:
+        raise ValueError("rate_per_s must be > 0, got %r" % rate_per_s)
+    rng = random.Random(seed)
+    result = LoadResult(offered=len(stream))
+
+    async def fire(index: int, request: BatchRequest, tier: str) -> None:
+        try:
+            served = await server.submit(request, tier=tier)
+            result.served.append((index, tier, served))
+        except AdmissionRejected as rejected:
+            result.rejected.append((index, tier, rejected.retry_after_s))
+        except Exception as error:  # noqa: BLE001 — a load run must finish
+            result.errors.append((index, "%s: %s" % (type(error).__name__, error)))
+
+    started = time.perf_counter()
+    tasks = []
+    for index, (request, tier) in enumerate(zip(stream, tiers)):
+        if index:  # the first request fires immediately
+            await asyncio.sleep(rng.expovariate(rate_per_s))
+        tasks.append(asyncio.ensure_future(fire(index, request, tier)))
+    await asyncio.gather(*tasks)
+    result.wall_s = time.perf_counter() - started
+    return result
+
+
+async def run_burst(
+    server: AsyncPersonalizationServer,
+    stream: Sequence[BatchRequest],
+    tiers: Optional[Sequence[str]] = None,
+    tier: str = "bronze",
+) -> LoadResult:
+    """Everything arrives at once (the λ→∞ limit of the open loop):
+    the deterministic mode the perf-smoke gate uses, no sleeps at all."""
+    if tiers is None:
+        tiers = [tier] * len(stream)
+    result = LoadResult(offered=len(stream))
+
+    async def fire(index: int, request: BatchRequest, tier_name: str) -> None:
+        try:
+            served = await server.submit(request, tier=tier_name)
+            result.served.append((index, tier_name, served))
+        except AdmissionRejected as rejected:
+            result.rejected.append((index, tier_name, rejected.retry_after_s))
+
+    started = time.perf_counter()
+    tasks = [
+        asyncio.ensure_future(fire(index, request, tier_name))
+        for index, (request, tier_name) in enumerate(zip(stream, tiers))
+    ]
+    await asyncio.gather(*tasks)
+    result.wall_s = time.perf_counter() - started
+    return result

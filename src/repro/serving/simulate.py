@@ -1,0 +1,179 @@
+"""Virtual-time reference implementation of the serving pipeline.
+
+A discrete-event simulation over the *same* sans-IO components the
+asyncio server composes (batcher, admission controller, degradation
+policy, scoreboard) with a :class:`~repro.serving.clock.VirtualClock`
+instead of an event loop: arrivals land at scripted offsets, solves
+occupy scripted virtual durations, and flushes/completions interleave
+exactly as the timestamps dictate — bit-for-bit reproducibly, with zero
+real sleeps. This is what the hypothesis property test drives with
+arbitrary interleavings of arrivals and completions.
+
+Three event kinds, processed in time order (ties: completion, then
+arrival, then flush — releasing finished work before admitting new):
+
+* **arrive** — admission decides; admitted requests join the batcher,
+  rejected ones are recorded (never dropped);
+* **flush** — when no solve is in flight and the batcher says a batch
+  is due (full, or past its flush deadline), the batch dispatches:
+  degradation resolves against the depth at dispatch and the solve's
+  answers are computed by the real, synchronous service;
+* **complete** — one scripted solve-duration later the batch's answers
+  are classified against each request's tier deadline and its admission
+  slots are released. Solves serialize, exactly like the server's
+  dispatch lock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.service import BatchRequest, PersonalizationService
+from repro.serving.admission import AdmissionController, Rejection
+from repro.serving.batcher import MicroBatcher, PendingRequest
+from repro.serving.clock import VirtualClock
+from repro.serving.config import ServingConfig
+from repro.serving.degradation import DegradationPolicy
+from repro.serving.server import ServedResponse
+from repro.serving.taxonomy import TierScoreboard, classify
+
+
+@dataclass
+class SimulatedOutcome:
+    """What happened to one arrival: served or rejected, never neither."""
+
+    index: int
+    served: Optional[ServedResponse] = None
+    rejection: Optional[Rejection] = None
+
+    @property
+    def admitted(self) -> bool:
+        return self.served is not None
+
+
+@dataclass
+class SimulationResult:
+    outcomes: List[SimulatedOutcome]
+    scoreboard: TierScoreboard
+    batches: int
+    downgrades: int
+
+    @property
+    def served(self) -> List[ServedResponse]:
+        return [o.served for o in self.outcomes if o.served is not None]
+
+    @property
+    def rejections(self) -> List[Rejection]:
+        return [o.rejection for o in self.outcomes if o.rejection is not None]
+
+
+def simulate_serving(
+    service: PersonalizationService,
+    arrivals: Sequence[Tuple[float, BatchRequest, str]],
+    config: Optional[ServingConfig] = None,
+    solve_duration: Optional[Callable[[List[PendingRequest]], float]] = None,
+) -> SimulationResult:
+    """Run ``arrivals`` — ``(offset_s, request, tier_name)`` triples —
+    through the serving policy on virtual time.
+
+    ``solve_duration`` maps a dispatched batch to the virtual seconds
+    its solve occupies (default: instantaneous); this is the lever that
+    scripts completion interleavings, deadline misses, and the queue
+    depths the degradation thresholds react to. Every arrival comes back
+    as exactly one :class:`SimulatedOutcome`, in arrival order.
+    """
+    config = config if config is not None else ServingConfig()
+    clock = VirtualClock()
+    admission = AdmissionController()
+    batcher = MicroBatcher(config)
+    policy = DegradationPolicy(config)
+    scoreboard = TierScoreboard()
+    ordered = sorted(enumerate(arrivals), key=lambda item: (item[1][0], item[0]))
+    outcomes: List[Optional[SimulatedOutcome]] = [None] * len(ordered)
+    batches = 0
+    next_arrival = 0
+    # The one in-flight solve: (completes_at, dispatched_at, batch,
+    # degradations, responses). Solves serialize, like the server's lock.
+    in_flight: Optional[Tuple] = None
+
+    def dispatch(now: float) -> Tuple:
+        nonlocal batches
+        batch = batcher.take_due(now)
+        assert batch, "flush event fired with nothing due"
+        batches += 1
+        depth = admission.depth
+        degradations = [policy.resolve(pending, depth, now) for pending in batch]
+        requests = [
+            replace(pending.request, algorithm=degradation.algorithm)
+            if degradation.degraded
+            else pending.request
+            for pending, degradation in zip(batch, degradations)
+        ]
+        responses = service.request_many(requests)
+        duration = solve_duration(batch) if solve_duration is not None else 0.0
+        if duration < 0:
+            raise ValueError("solve_duration must be >= 0, got %r" % duration)
+        return (now + duration, now, batch, degradations, responses)
+
+    def complete(event: Tuple) -> None:
+        completed_at, dispatched_at, batch, degradations, responses = event
+        for pending, degradation, response in zip(batch, degradations, responses):
+            if degradation.degraded:
+                response = replace(response, degradation_reason=degradation.reason)
+            latency_s = completed_at - pending.arrived_at
+            status = classify(latency_s, pending.tier.deadline_s, response.degraded)
+            scoreboard.record(pending.tier.name, status, latency_s)
+            admission.release()
+            outcomes[pending.completion] = SimulatedOutcome(
+                index=pending.completion,
+                served=ServedResponse(
+                    response=response,
+                    tier=pending.tier.name,
+                    status=status,
+                    latency_ms=1000.0 * latency_s,
+                    queue_ms=1000.0 * (dispatched_at - pending.arrived_at),
+                    deadline_ms=pending.tier.deadline_ms,
+                    batch_size=len(batch),
+                    algorithm=degradation.algorithm,
+                ),
+            )
+
+    while next_arrival < len(ordered) or batcher.depth or in_flight is not None:
+        now = clock.monotonic()
+        # (time, precedence, kind): completion frees capacity before an
+        # equal-time arrival asks for it; flushes go last.
+        candidates = []
+        if in_flight is not None:
+            candidates.append((max(now, in_flight[0]), 0, "complete"))
+        if next_arrival < len(ordered):
+            at = ordered[next_arrival][1][0]
+            candidates.append((max(now, at), 1, "arrive"))
+        if batcher.depth and in_flight is None:
+            due_at = now if batcher.full else batcher.next_deadline()
+            candidates.append((max(now, due_at), 2, "flush"))
+        at, _, kind = min(candidates)
+        clock.advance(at - now)
+        if kind == "complete":
+            complete(in_flight)
+            in_flight = None
+        elif kind == "arrive":
+            index, (_, request, tier_name) = ordered[next_arrival]
+            next_arrival += 1
+            tier = config.tier(tier_name)
+            rejection = admission.try_admit(tier)
+            if rejection is not None:
+                scoreboard.record_rejection(tier.name)
+                outcomes[index] = SimulatedOutcome(index=index, rejection=rejection)
+            else:
+                batcher.add(request, tier, at, completion=index)
+        else:
+            in_flight = dispatch(at)
+
+    assert all(outcome is not None for outcome in outcomes), "an arrival was dropped"
+    return SimulationResult(
+        outcomes=list(outcomes),
+        scoreboard=scoreboard,
+        batches=batches,
+        downgrades=policy.downgrades,
+    )

@@ -8,6 +8,7 @@ Table 1 problem is solved at every point of
     {c_boundaries, c_maxbounds, exhaustive} × {row, columnar}
         × {caches off, on, warm} × {parallelism 1, 4}
         × {serial, thread, process} × {batched, unbatched}
+        × {sync, async serving}
 
 and checked two ways:
 
@@ -78,7 +79,12 @@ class LatticePoint:
     workload snapshot compiled on the spot
     (:func:`repro.workloads.compiler.compile_workload`) — restored
     pricing, frontiers and frames must leave every response
-    bit-identical to the cold services.
+    bit-identical to the cold services. ``serving`` (service lattice
+    only) routes the point's batch through the asyncio front-end
+    (:class:`~repro.serving.server.AsyncPersonalizationServer` in
+    pass-through configuration) instead of calling ``request_many``
+    directly — micro-batched admission and the executor bridge must
+    change nothing about any answer.
     """
 
     algorithm: str
@@ -88,11 +94,12 @@ class LatticePoint:
     backend: str = "thread"
     batched: bool = False
     snapshot: str = "off"
+    serving: str = "sync"
 
     def __str__(self) -> str:
         return (
             "%s/engine=%s/cache=%s/parallelism=%d/backend=%s/batched=%s"
-            "/snapshot=%s"
+            "/snapshot=%s/serving=%s"
             % (
                 self.algorithm,
                 self.engine,
@@ -101,6 +108,7 @@ class LatticePoint:
                 self.backend,
                 self.batched,
                 self.snapshot,
+                self.serving,
             )
         )
 
@@ -445,8 +453,10 @@ def _algorithm_for(problem: CQPProblem, requested: str) -> str:
 def service_lattice() -> List[LatticePoint]:
     """Every (algorithm, engine, cache, parallelism) point of the
     end-to-end lattice, plus the backend × batched cross on the
-    columnar engine, plus the snapshot={off,restored} axis: one
-    serial and one batched-parallel warm-boot point per algorithm."""
+    columnar engine, plus the snapshot={off,restored} axis (one serial
+    and one batched-parallel warm-boot point per algorithm), plus the
+    serving={sync,async} axis: one plain and one batched-parallel
+    async-front-end point per algorithm."""
     points = []
     for algorithm in DOI_ALGORITHMS:
         for engine in ENGINES:
@@ -484,7 +494,48 @@ def service_lattice() -> List[LatticePoint]:
                 snapshot="restored",
             )
         )
+        points.append(
+            LatticePoint(algorithm=algorithm, cache="on", serving="async")
+        )
+        points.append(
+            LatticePoint(
+                algorithm=algorithm,
+                cache="on",
+                parallelism=4,
+                batched=True,
+                serving="async",
+            )
+        )
     return points
+
+
+def serve_batch_async(service, batch: Sequence) -> List:
+    """Answer ``batch`` through the asyncio front-end, pass-through mode.
+
+    Boots an :class:`~repro.serving.server.AsyncPersonalizationServer`
+    over ``service`` in :meth:`~repro.serving.config.ServingConfig.
+    passthrough` configuration (admit everything, window zero, no
+    degradation), submits every request concurrently, and returns the
+    unwrapped :class:`~repro.core.service.ServiceResponse` list in
+    input order — the shape ``request_many`` would have returned, so
+    lattice receipt checks run unchanged.
+    """
+    import asyncio
+
+    from repro.serving.config import ServingConfig
+    from repro.serving.server import AsyncPersonalizationServer
+
+    config = ServingConfig.passthrough(len(batch))
+
+    async def run() -> List:
+        async with AsyncPersonalizationServer(service, config=config) as server:
+            submits = [
+                asyncio.ensure_future(server.submit(request)) for request in batch
+            ]
+            served = await asyncio.gather(*submits)
+        return [item.response for item in served]
+
+    return asyncio.run(run())
 
 
 def run_service_lattice(
@@ -569,7 +620,10 @@ def run_service_lattice(
         ]
         passes = 2 if point.cache == "warm" else 1
         for _ in range(passes):
-            responses = service.request_many(batch, max_workers=point.parallelism)
+            if point.serving == "async":
+                responses = serve_batch_async(service, batch)
+            else:
+                responses = service.request_many(batch, max_workers=point.parallelism)
         for number, response in zip(numbers, responses):
             problem = problems[number]
             maximizing = problem.objective is Parameter.DOI

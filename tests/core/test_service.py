@@ -300,3 +300,41 @@ class TestRequestMany:
         )
         learned = service.profile_of("cara")
         assert learned.get(SelectionCondition("GENRE", "genre", genre)) is not None
+
+
+class TestDegradedSemantics:
+    """``degraded`` must cover *both* degradation channels: transient-fault
+    fallbacks (``fallbacks_taken``) and SLA-driven algorithm downgrades
+    (``degradation_reason`` set by the serving layer). Regression guard:
+    it used to reflect only the fallback counter."""
+
+    PROBLEM = CQPProblem.problem2(cmax=200.0)
+
+    def _response(self, service):
+        service.register("al")
+        return service.request(
+            "al", "select title from MOVIE", problem=self.PROBLEM
+        )
+
+    def test_pristine_response_is_not_degraded(self, service):
+        response = self._response(service)
+        assert response.fallbacks_taken == 0
+        assert response.degradation_reason is None
+        assert not response.degraded
+
+    def test_fallbacks_alone_mark_degraded(self, service):
+        from dataclasses import replace
+
+        response = replace(self._response(service), fallbacks_taken=1)
+        assert response.degradation_reason is None
+        assert response.degraded
+
+    def test_degradation_reason_alone_marks_degraded(self, service):
+        from dataclasses import replace
+
+        response = replace(
+            self._response(service),
+            degradation_reason="downgraded c_boundaries -> c_maxbounds: test",
+        )
+        assert response.fallbacks_taken == 0
+        assert response.degraded

@@ -1,0 +1,91 @@
+"""Fixtures for the serving suite: a registered service and a workload.
+
+Everything here runs on the shared session-scoped movie database; the
+serving components under test are all sans-IO, so the suite advances a
+:class:`~repro.serving.clock.VirtualClock` instead of sleeping — no test
+in this directory may call ``time.sleep`` or depend on wall-clock time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.frontier_cache import FrontierCache
+from repro.core.param_cache import ParameterCache
+from repro.core.problem import CQPProblem
+from repro.core.service import BatchRequest, PersonalizationService
+from repro.serving.config import ServingConfig, SlaTier
+from repro.testing.differential import table1_problems
+
+K_LIMIT = 5
+
+# Small, round-number tiers the tests can reason about exactly: gold
+# flushes within 50 ms and degrades past depth 4; bronze waits up to
+# 500 ms and sheds first (budget 4 vs gold's 8).
+GOLD = SlaTier(
+    name="gold",
+    priority=0,
+    deadline_ms=200.0,
+    queue_budget=8,
+    retry_after_ms=50.0,
+    degrade_queue_depth=4,
+)
+BRONZE = SlaTier(
+    name="bronze",
+    priority=1,
+    deadline_ms=2000.0,
+    queue_budget=4,
+    retry_after_ms=250.0,
+    degrade_queue_depth=2,
+)
+
+
+def tiny_config(**overrides) -> ServingConfig:
+    defaults = dict(
+        tiers=(GOLD, BRONZE),
+        default_tier="bronze",
+        max_batch=4,
+        batch_window_ms=20.0,
+        flush_deadline_fraction=0.25,
+    )
+    defaults.update(overrides)
+    return ServingConfig(**defaults)
+
+
+@pytest.fixture()
+def serving_service(movie_db, movie_profile):
+    service = PersonalizationService(
+        movie_db,
+        param_cache=ParameterCache(),
+        frontier_cache=FrontierCache(),
+    )
+    service.register("pat", movie_profile)
+    return service
+
+
+def make_requests(service, query, k_limit: int = K_LIMIT):
+    """The six Table 1 problems as one batch, alternating between an
+    explicit algorithm and service-side resolution."""
+    probe = service.personalizer.personalize(
+        query,
+        service.profile_of("pat"),
+        CQPProblem.problem2(cmax=float("inf")),
+        algorithm="c_maxbounds",
+        k_limit=k_limit,
+    )
+    problems = table1_problems(probe.preference_space)
+    return [
+        BatchRequest(
+            user="pat",
+            query=query,
+            problem=problems[n],
+            algorithm="c_boundaries" if n % 2 else None,
+            k_limit=k_limit,
+        )
+        for n in sorted(problems)
+    ]
+
+
+@pytest.fixture()
+def serving_requests(serving_service, movie_query):
+    return make_requests(serving_service, movie_query)

@@ -1,0 +1,86 @@
+"""Admission-control tests: bounded-queue backpressure with retry-after.
+
+Pure state-machine tests — no clock at all. The tier budgets come from
+the suite's fixed GOLD (budget 8) and BRONZE (budget 4) tiers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving.admission import AdmissionController, AdmissionRejected, Rejection
+
+from tests.serving.conftest import BRONZE, GOLD
+
+
+class TestBackpressure:
+    def test_admits_until_the_tier_budget_then_rejects(self):
+        admission = AdmissionController()
+        for _ in range(BRONZE.queue_budget):
+            assert admission.try_admit(BRONZE) is None
+        rejection = admission.try_admit(BRONZE)
+        assert isinstance(rejection, Rejection)
+        assert rejection.tier == "bronze"
+        assert rejection.queue_depth == 4 and rejection.queue_budget == 4
+        assert rejection.retry_after_s == pytest.approx(0.250)
+        assert rejection.retry_after_ms == pytest.approx(250.0)
+        assert admission.admitted == 4 and admission.rejected == 1
+
+    def test_release_restores_capacity(self):
+        admission = AdmissionController()
+        for _ in range(BRONZE.queue_budget):
+            admission.try_admit(BRONZE)
+        assert admission.try_admit(BRONZE) is not None
+        admission.release(2)
+        assert admission.depth == 2
+        assert admission.try_admit(BRONZE) is None  # room again
+
+    def test_release_bounds_are_checked(self):
+        admission = AdmissionController()
+        admission.try_admit(BRONZE)
+        with pytest.raises(ValueError):
+            admission.release(2)
+        with pytest.raises(ValueError):
+            admission.release(-1)
+
+    def test_rejection_is_never_silent(self):
+        # Every rejection carries an actionable retry-after and depth.
+        rejection = AdmissionController().__class__()
+        for _ in range(BRONZE.queue_budget):
+            rejection.try_admit(BRONZE)
+        described = rejection.try_admit(BRONZE).describe()
+        assert "retry after" in described and "250" in described
+
+
+class TestTierOrderedAdmission:
+    def test_bronze_sheds_before_gold(self):
+        # One shared depth, shrinking budgets: at depth 4–7 bronze is
+        # turned away while gold still gets in.
+        admission = AdmissionController()
+        for _ in range(4):
+            assert admission.try_admit(GOLD) is None
+        assert admission.try_admit(BRONZE) is not None
+        assert admission.try_admit(GOLD) is None  # depth 5, gold budget 8
+        for _ in range(3):
+            admission.try_admit(GOLD)
+        assert admission.depth == 8
+        assert admission.try_admit(GOLD) is not None  # now gold sheds too
+
+    def test_releases_reopen_lower_tiers(self):
+        admission = AdmissionController()
+        for _ in range(6):
+            admission.try_admit(GOLD)
+        assert admission.try_admit(BRONZE) is not None
+        admission.release(3)  # depth 3 < bronze budget 4
+        assert admission.try_admit(BRONZE) is None
+
+
+class TestAdmissionRejected:
+    def test_exception_carries_the_rejection(self):
+        rejection = Rejection(
+            tier="bronze", retry_after_s=0.25, queue_depth=4, queue_budget=4
+        )
+        error = AdmissionRejected(rejection)
+        assert error.rejection is rejection
+        assert error.retry_after_s == pytest.approx(0.25)
+        assert "bronze" in str(error)

@@ -1,0 +1,123 @@
+"""Degradation-policy tests: threshold crossings walk the algorithm ladder.
+
+The policy is pure — (pending, queue depth, now) in, algorithm choice
+out — so every crossing is scripted on explicit timestamps against the
+suite's GOLD tier (degrade past depth 4, or past 50% of the 200 ms
+deadline = 100 ms queued).
+"""
+
+from __future__ import annotations
+
+from repro.core.problem import CQPProblem
+from repro.core.service import BatchRequest
+from repro.serving.batcher import PendingRequest
+from repro.serving.degradation import DEGRADATION_LADDER, DegradationPolicy, floor_of
+
+from tests.serving.conftest import GOLD, tiny_config
+
+
+def pending(algorithm="c_boundaries", problem=None, arrived=0.0):
+    if problem is None:
+        problem = CQPProblem.problem2(cmax=50.0)
+    request = BatchRequest(
+        user="pat", query="select title from MOVIE", problem=problem,
+        algorithm=algorithm,
+    )
+    return PendingRequest(
+        seq=0,
+        request=request,
+        tier=GOLD,
+        arrived_at=arrived,
+        flush_by=arrived,
+        requested_algorithm=algorithm,
+    )
+
+
+class TestLadder:
+    def test_every_rung_descends_to_a_floor(self):
+        assert floor_of("exhaustive") == "c_maxbounds"
+        assert floor_of("c_boundaries") == "c_maxbounds"
+        assert floor_of("d_maxdoi") == "d_heurdoi"
+        assert floor_of("c_maxbounds") == "c_maxbounds"  # already the floor
+        for rung, cheaper in DEGRADATION_LADDER.items():
+            assert rung != cheaper
+
+
+class TestThresholds:
+    def test_no_threshold_crossed_is_a_no_op(self):
+        policy = DegradationPolicy(tiny_config())
+        decision = policy.resolve(pending(), queue_depth=4, now=0.0)
+        assert decision.algorithm == "c_boundaries"
+        assert not decision.degraded and decision.reason is None
+        assert policy.downgrades == 0
+
+    def test_queue_depth_crossing_downgrades_one_rung(self):
+        policy = DegradationPolicy(tiny_config())
+        decision = policy.resolve(pending(), queue_depth=5, now=0.0)
+        assert decision.algorithm == "c_maxbounds"
+        assert decision.degraded and "queue depth 5" in decision.reason
+        assert policy.downgrades == 1
+
+    def test_elapsed_budget_crossing_downgrades_one_rung(self):
+        policy = DegradationPolicy(tiny_config())
+        # Queued 150 ms > 50% of gold's 200 ms deadline.
+        decision = policy.resolve(pending(arrived=0.0), queue_depth=0, now=0.150)
+        assert decision.algorithm == "c_maxbounds"
+        assert "deadline" in decision.reason
+
+    def test_both_crossings_drop_to_the_floor(self):
+        policy = DegradationPolicy(tiny_config())
+        decision = policy.resolve(
+            pending(algorithm="exhaustive"), queue_depth=5, now=0.150
+        )
+        assert decision.algorithm == "c_maxbounds"  # skipped c_boundaries
+        assert "exhaustive -> c_maxbounds" in decision.reason
+
+    def test_doi_ladder_mirrors_cost_ladder(self):
+        policy = DegradationPolicy(tiny_config())
+        one_rung = policy.resolve(pending(algorithm="d_maxdoi"), 5, 0.0)
+        assert one_rung.algorithm == "d_singlemaxdoi"
+        both = policy.resolve(pending(algorithm="d_maxdoi"), 5, 0.150)
+        assert both.algorithm == "d_heurdoi"
+
+
+class TestGuards:
+    def test_floor_algorithm_never_degrades(self):
+        policy = DegradationPolicy(tiny_config())
+        decision = policy.resolve(pending(algorithm="c_maxbounds"), 99, 99.0)
+        assert decision.algorithm == "c_maxbounds" and not decision.degraded
+        assert policy.downgrades == 0
+
+    def test_cost_minimization_never_degrades(self):
+        # Problems 4–6 run the dedicated minimal-state search; there is
+        # no cheaper sibling to fall back to.
+        policy = DegradationPolicy(tiny_config())
+        decision = policy.resolve(
+            pending(algorithm="min_cost", problem=CQPProblem.problem4(dmin=0.3)),
+            queue_depth=99,
+            now=99.0,
+        )
+        assert decision.algorithm == "min_cost" and not decision.degraded
+
+    def test_disabled_config_pins_the_requested_algorithm(self):
+        policy = DegradationPolicy(tiny_config(degradation=False))
+        decision = policy.resolve(pending(algorithm="exhaustive"), 99, 99.0)
+        assert decision.algorithm == "exhaustive" and not decision.degraded
+
+    def test_unset_algorithm_degrades_relative_to_the_resolved_default(self):
+        # The sync path would resolve algorithm=None for a size-window
+        # problem to c_boundaries; a downgrade steps down from there.
+        policy = DegradationPolicy(tiny_config())
+        window = CQPProblem.problem1(smin=10.0, smax=500.0)
+        decision = policy.resolve(
+            pending(algorithm=None, problem=window), queue_depth=5, now=0.0
+        )
+        assert decision.algorithm == "c_maxbounds"
+        assert "c_boundaries -> c_maxbounds" in decision.reason
+
+    def test_unset_algorithm_already_at_the_floor_stays_unset(self):
+        # Problem 2 resolves to c_maxbounds — the floor — so the request
+        # passes through with algorithm still None (service resolves it).
+        policy = DegradationPolicy(tiny_config())
+        decision = policy.resolve(pending(algorithm=None), queue_depth=5, now=0.0)
+        assert decision.algorithm is None and not decision.degraded

@@ -1,0 +1,156 @@
+"""Virtual-time end-to-end tests of the serving pipeline.
+
+`simulate_serving` composes the real batcher/admission/degradation/
+scoreboard (and the real solver) on a VirtualClock — these scenarios
+script exact timelines and assert exact latencies, statuses, and
+accounting, with zero real sleeps.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving.simulate import simulate_serving
+from repro.testing.differential import Receipt
+
+from tests.serving.conftest import tiny_config
+
+
+class TestFlushTiming:
+    def test_deadline_flush_sets_exact_latencies(self, serving_service, serving_requests):
+        arrivals = [
+            (0.000, serving_requests[0], "bronze"),
+            (0.005, serving_requests[1], "bronze"),
+        ]
+        result = simulate_serving(serving_service, arrivals, config=tiny_config())
+        assert result.batches == 1
+        first, second = (outcome.served for outcome in result.outcomes)
+        # Solve is instantaneous, so latency is pure batching delay:
+        # the 20 ms window from the first arrival.
+        assert first.latency_ms == pytest.approx(20.0)
+        assert second.latency_ms == pytest.approx(15.0)
+        assert first.queue_ms == pytest.approx(first.latency_ms)
+        assert first.status == "WIN" and second.status == "WIN"
+        assert first.batch_size == 2
+        # And the answers are the real service's answers, bit-identical.
+        reference = serving_service.request_many(list(serving_requests[:2]))
+        for outcome, expected in zip(result.outcomes, reference):
+            assert Receipt.of(outcome.served.response.outcome.solution) == Receipt.of(
+                expected.outcome.solution
+            )
+            assert outcome.served.response.rows == expected.rows
+
+    def test_full_batch_flushes_without_waiting(self, serving_service, serving_requests):
+        arrivals = [(0.0, serving_requests[n], "bronze") for n in range(4)]
+        result = simulate_serving(serving_service, arrivals, config=tiny_config())
+        assert result.batches == 1
+        assert all(o.served.latency_ms == pytest.approx(0.0) for o in result.outcomes)
+
+    def test_solves_serialize_behind_one_in_flight_batch(
+        self, serving_service, serving_requests
+    ):
+        arrivals = [
+            (0.0, serving_requests[0], "bronze"),
+            (0.5, serving_requests[1], "bronze"),
+        ]
+        result = simulate_serving(
+            serving_service,
+            arrivals,
+            config=tiny_config(),
+            solve_duration=lambda batch: 1.0,
+        )
+        assert result.batches == 2
+        first, second = (outcome.served for outcome in result.outcomes)
+        # Batch 1 flushes at 20 ms and completes at 1.020 s; batch 2
+        # flushed only then (one solve in flight at a time) and
+        # completes at 2.020 s.
+        assert first.latency_ms == pytest.approx(1020.0)
+        assert second.latency_ms == pytest.approx(1520.0)
+        assert second.queue_ms == pytest.approx(1520.0 - 1000.0)
+        assert first.status == "IMPROVED" and second.status == "IMPROVED"
+
+    def test_negative_solve_duration_is_rejected(self, serving_service, serving_requests):
+        with pytest.raises(ValueError):
+            simulate_serving(
+                serving_service,
+                [(0.0, serving_requests[0], "bronze")],
+                config=tiny_config(),
+                solve_duration=lambda batch: -1.0,
+            )
+
+
+class TestBackpressure:
+    def test_fifth_bronze_arrival_is_rejected_not_dropped(
+        self, serving_service, serving_requests
+    ):
+        # Bronze budget is 4; all five arrive before anything completes.
+        arrivals = [
+            (0.0, serving_requests[n % len(serving_requests)], "bronze")
+            for n in range(5)
+        ]
+        result = simulate_serving(serving_service, arrivals, config=tiny_config())
+        assert len(result.outcomes) == 5
+        assert len(result.served) == 4 and len(result.rejections) == 1
+        rejection = result.outcomes[4].rejection
+        assert rejection is not None and not result.outcomes[4].admitted
+        assert rejection.retry_after_s == pytest.approx(0.250)
+        assert result.scoreboard.report()["bronze"]["rejected"] == 1
+
+    def test_completion_frees_capacity_for_later_arrivals(
+        self, serving_service, serving_requests
+    ):
+        # Four fill the bronze budget and flush as a full batch at t=0;
+        # a fifth at t=1 finds the queue empty again and is served.
+        arrivals = [(0.0, serving_requests[n], "bronze") for n in range(4)]
+        arrivals.append((1.0, serving_requests[4], "bronze"))
+        result = simulate_serving(serving_service, arrivals, config=tiny_config())
+        assert len(result.served) == 5 and not result.rejections
+
+
+class TestDegradation:
+    def test_queue_depth_crossing_degrades_and_classifies_neutral(
+        self, serving_service, serving_requests
+    ):
+        # Three c_boundaries requests pending at dispatch: depth 3 is
+        # past bronze's degrade_queue_depth of 2, so each steps one rung
+        # down to c_maxbounds and classifies NEUTRAL (met deadline,
+        # degraded — the graceful-degradation bargain).
+        request = serving_requests[0]
+        assert request.algorithm == "c_boundaries"
+        arrivals = [(0.0, request, "bronze") for _ in range(3)]
+        result = simulate_serving(serving_service, arrivals, config=tiny_config())
+        assert result.downgrades == 3
+        for outcome in result.outcomes:
+            served = outcome.served
+            assert served.algorithm == "c_maxbounds"
+            assert served.status == "NEUTRAL"
+            assert served.response.degraded
+            assert served.response.fallbacks_taken == 0
+            assert "c_boundaries -> c_maxbounds" in served.response.degradation_reason
+
+    def test_degradation_off_pins_the_algorithm_under_load(
+        self, serving_service, serving_requests
+    ):
+        request = serving_requests[0]
+        arrivals = [(0.0, request, "bronze") for _ in range(3)]
+        result = simulate_serving(
+            serving_service, arrivals, config=tiny_config(degradation=False)
+        )
+        assert result.downgrades == 0
+        assert all(o.served.algorithm == "c_boundaries" for o in result.outcomes)
+        assert all(not o.served.response.degraded for o in result.outcomes)
+
+
+class TestDeadlineMiss:
+    def test_slow_solve_classifies_regression(self, serving_service, serving_requests):
+        result = simulate_serving(
+            serving_service,
+            [(0.0, serving_requests[0], "bronze")],
+            config=tiny_config(),
+            solve_duration=lambda batch: 3.0,  # bronze deadline is 2 s
+        )
+        served = result.outcomes[0].served
+        assert served.status == "REGRESSION"
+        assert served.latency_ms == pytest.approx(3020.0)
+        assert served.queue_ms == pytest.approx(20.0)
+        assert result.scoreboard.report()["bronze"]["taxonomy"]["REGRESSION"] == 1

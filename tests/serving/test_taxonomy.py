@@ -1,0 +1,64 @@
+"""Outcome-taxonomy tests: WIN/IMPROVED/NEUTRAL/REGRESSION + scoreboard."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving.taxonomy import STATUSES, TierScoreboard, classify
+
+
+class TestClassify:
+    def test_win_needs_margin_and_no_degradation(self):
+        assert classify(0.05, 0.2, degraded=False) == "WIN"
+        assert classify(0.10, 0.2, degraded=False) == "WIN"  # exactly half
+
+    def test_improved_meets_the_deadline_without_margin(self):
+        assert classify(0.15, 0.2, degraded=False) == "IMPROVED"
+        assert classify(0.20, 0.2, degraded=False) == "IMPROVED"  # exactly on
+
+    def test_neutral_is_the_degradation_bargain(self):
+        # Met the deadline because we gave up optimality — by design.
+        assert classify(0.05, 0.2, degraded=True) == "NEUTRAL"
+        assert classify(0.20, 0.2, degraded=True) == "NEUTRAL"
+
+    def test_regression_is_a_missed_deadline_degraded_or_not(self):
+        assert classify(0.25, 0.2, degraded=False) == "REGRESSION"
+        assert classify(0.25, 0.2, degraded=True) == "REGRESSION"
+
+
+class TestScoreboard:
+    def test_records_and_reports_per_tier(self):
+        board = TierScoreboard()
+        board.record("gold", "WIN", 0.010)
+        board.record("gold", "REGRESSION", 0.300)
+        board.record("bronze", "NEUTRAL", 0.100)
+        board.record_rejection("bronze")
+        board.record_rejection("bronze")
+        report = board.report()
+        assert set(report) == {"gold", "bronze"}
+        assert report["gold"]["served"] == 2
+        assert report["gold"]["taxonomy"]["WIN"] == 1
+        assert report["gold"]["taxonomy"]["REGRESSION"] == 1
+        assert report["bronze"]["rejected"] == 2
+        assert report["bronze"]["taxonomy"]["NEUTRAL"] == 1
+
+    def test_percentiles_are_nearest_rank(self):
+        board = TierScoreboard()
+        for ms in range(1, 101):  # 1..100 ms
+            board.record("gold", "WIN", ms / 1000.0)
+        report = board.report()["gold"]
+        assert report["p50_ms"] == pytest.approx(50.0)
+        assert report["p95_ms"] == pytest.approx(95.0)
+        assert report["p99_ms"] == pytest.approx(99.0)
+
+    def test_rejection_only_tier_still_reports(self):
+        board = TierScoreboard()
+        board.record_rejection("bronze")
+        report = board.report()["bronze"]
+        assert report["served"] == 0 and report["rejected"] == 1
+        assert report["p95_ms"] == 0.0
+        assert report["taxonomy"] == {name: 0 for name in STATUSES}
+
+    def test_unknown_status_is_rejected(self):
+        with pytest.raises(ValueError):
+            TierScoreboard().record("gold", "MEH", 0.01)

@@ -47,8 +47,19 @@ class TestLatticeShape:
         points = service_lattice()
         assert {p.engine for p in points} == {"row", "columnar"}
         # The classic cross plus the backend × batched cross plus the
-        # two snapshot="restored" points, per algorithm.
-        assert len(points) == 3 * 2 * 3 * 2 + 3 * 3 * 2 + 3 * 2
+        # two snapshot="restored" points plus the two serving="async"
+        # points, per algorithm.
+        assert len(points) == 3 * 2 * 3 * 2 + 3 * 3 * 2 + 3 * 2 + 3 * 2
+
+    def test_service_lattice_spans_the_serving_axis(self):
+        points = service_lattice()
+        assert {p.serving for p in points} == {"sync", "async"}
+        asynchronous = [p for p in points if p.serving == "async"]
+        # Both a plain and a batched-parallel async front-end per algorithm.
+        assert {(p.parallelism, p.batched) for p in asynchronous} == {
+            (1, False),
+            (4, True),
+        }
 
     def test_service_lattice_spans_the_snapshot_axis(self):
         points = service_lattice()
@@ -69,7 +80,7 @@ class TestLatticeShape:
         point = LatticePoint("c_boundaries", cache="warm", parallelism=4)
         assert str(point) == (
             "c_boundaries/engine=columnar/cache=warm/parallelism=4"
-            "/backend=thread/batched=False/snapshot=off"
+            "/backend=thread/batched=False/snapshot=off/serving=sync"
         )
 
 
